@@ -1,0 +1,33 @@
+// Command axb solves a linear system Ax=b for the quadratic-placement
+// homeworks. Input (stdin or file argument): a header line
+// "n [dense|cg|gs|jacobi]", then n rows of n coefficients, then the n
+// right-hand-side values.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vlsicad/internal/portal"
+)
+
+func main() {
+	var src []byte
+	var err error
+	if len(os.Args) > 1 {
+		src, err = os.ReadFile(os.Args[1])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axb:", err)
+		os.Exit(1)
+	}
+	out, err := portal.AxbTool().Run(string(src), make(chan struct{}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axb:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

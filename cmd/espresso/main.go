@@ -1,0 +1,32 @@
+// Command espresso minimizes a two-level PLA read from stdin (or a
+// file argument) and writes the minimized PLA to stdout, with per-
+// output statistics as comments — the MOOC's Espresso portal.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vlsicad/internal/portal"
+)
+
+func main() {
+	var src []byte
+	var err error
+	if len(os.Args) > 1 {
+		src, err = os.ReadFile(os.Args[1])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espresso:", err)
+		os.Exit(1)
+	}
+	out, err := portal.EspressoTool().Run(string(src), make(chan struct{}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "espresso:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,151 @@
+// Command grader is the auto-grading front end for the four software
+// projects. Submissions are plain text on stdin, per the course's
+// portal architecture.
+//
+// Usage:
+//
+//	grader battery                      run the Figure 6 battery on the reference router
+//	grader urp <on-set cubes...>        grade a complement submission (stdin)
+//	grader tautology <cubes...> yes|no  grade a tautology verdict
+//	grader placement -case fract        grade a Project 3 placement (stdin)
+//	grader routing -case fract -seed 1  grade Project 4 routes (stdin)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vlsicad/internal/bench"
+	"vlsicad/internal/cube"
+	"vlsicad/internal/grader"
+	"vlsicad/internal/netlist"
+	"vlsicad/internal/place"
+	"vlsicad/internal/repair"
+)
+
+// repairFixture is the Project 2 grading circuit: z = ab + c.
+const repairFixture = `
+.model fixture
+.inputs a b c
+.outputs z
+.names a b t
+11 1
+.names t c z
+1- 1
+-1 1
+.end
+`
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "battery":
+		fmt.Print(grader.RunRouterBattery(grader.ReferenceRouter))
+	case "urp":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		on, err := cube.ParseCover(os.Args[2:])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(grader.GradeURPComplement(on, readStdin()))
+	case "tautology":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		on, err := cube.ParseCover(os.Args[2 : len(os.Args)-1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(grader.GradeURPTautology(on, os.Args[len(os.Args)-1]))
+	case "repair":
+		// Built-in Project 2 fixture: spec z = ab + c with the AND
+		// node faulted; the submission is the replacement cover for
+		// node "t" over fanins (a, b).
+		spec, err := netlist.ParseBLIF(strings.NewReader(repairFixture))
+		if err != nil {
+			fatal(err)
+		}
+		impl := spec.Clone()
+		if err := repair.InjectFault(impl, "t"); err != nil {
+			fatal(err)
+		}
+		fmt.Print(grader.GradeRepair(spec, impl, "t", readStdin()))
+	case "placement":
+		fs := flag.NewFlagSet("placement", flag.ExitOnError)
+		caseName := fs.String("case", "fract", "benchmark case")
+		seed := fs.Int64("seed", 1, "instance seed")
+		fs.Parse(os.Args[2:])
+		c := findCase(*caseName)
+		p := bench.Placement(*c, *seed)
+		ref, err := place.Quadratic(p, place.QuadraticOpts{})
+		if err != nil {
+			fatal(err)
+		}
+		legal, err := place.Legalize(p, ref)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(grader.GradePlacement(p, readStdin(), p.HPWL(legal)))
+	case "routing":
+		fs := flag.NewFlagSet("routing", flag.ExitOnError)
+		caseName := fs.String("case", "fract", "benchmark case")
+		seed := fs.Int64("seed", 1, "instance seed")
+		fs.Parse(os.Args[2:])
+		c := findCase(*caseName)
+		p := bench.Placement(*c, *seed)
+		ref, err := place.Quadratic(p, place.QuadraticOpts{})
+		if err != nil {
+			fatal(err)
+		}
+		legal, err := place.Legalize(p, ref)
+		if err != nil {
+			fatal(err)
+		}
+		g, nets := bench.Routing(*c, legal, p, *seed, 0.02)
+		fmt.Print(grader.GradeRouting(g, nets, readStdin()))
+	default:
+		usage()
+	}
+}
+
+func findCase(name string) *bench.Case {
+	for _, bc := range bench.Suite() {
+		if bc.Name == name {
+			c := bc
+			return &c
+		}
+	}
+	fatal(fmt.Errorf("unknown case %q", name))
+	return nil
+}
+
+func readStdin() string {
+	b, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grader:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  grader battery
+  grader urp <on-set cubes...>          (submission on stdin)
+  grader tautology <cubes...> yes|no
+  grader repair                         (replacement cover on stdin)
+  grader placement -case NAME -seed N   (submission on stdin)
+  grader routing -case NAME -seed N     (submission on stdin)`)
+	os.Exit(2)
+}

@@ -1,0 +1,39 @@
+// Command kbdd is the course's BDD-based Boolean calculator: it reads
+// a script from stdin (or a file argument) and prints the results,
+// exactly as the MOOC's kbdd web portal did.
+//
+// Usage:
+//
+//	kbdd [script.txt]
+//
+// See internal/portal.KBDD for the command language.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vlsicad/internal/portal"
+)
+
+func main() {
+	var src []byte
+	var err error
+	if len(os.Args) > 1 {
+		src, err = os.ReadFile(os.Args[1])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbdd:", err)
+		os.Exit(1)
+	}
+	k := portal.NewKBDD(64)
+	runErr := k.RunScript(string(src))
+	fmt.Print(k.Output())
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "kbdd:", runErr)
+		os.Exit(1)
+	}
+}

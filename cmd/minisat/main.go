@@ -1,0 +1,32 @@
+// Command minisat solves a DIMACS CNF instance from stdin (or a file
+// argument), printing the verdict, a model when satisfiable, and
+// solver statistics — the MOOC's miniSAT portal.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vlsicad/internal/portal"
+)
+
+func main() {
+	var src []byte
+	var err error
+	if len(os.Args) > 1 {
+		src, err = os.ReadFile(os.Args[1])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minisat:", err)
+		os.Exit(1)
+	}
+	out, err := portal.MiniSATTool().Run(string(src), make(chan struct{}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minisat:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,106 @@
+// Command moocsim regenerates the paper's figures as text tables:
+// the concept map (Figure 1), the lecture catalog (Figure 2), the
+// engagement funnel (Figure 8), per-lecture viewership (Figure 9),
+// demographics (Figure 10) and the survey word cloud (Figure 11).
+//
+// Usage:
+//
+//	moocsim [-fig all|1|2|8|9|10|11] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"vlsicad/internal/mooc"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to print: all, 1, 2, 8, 9, 10, 11")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cohort := mooc.Simulate(mooc.PaperParams(), *seed)
+	show := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if show("1") {
+		fmt.Println("=== Figure 1: concept map (BDD snapshot) ===")
+		cm := mooc.ConceptMap()
+		for _, c := range cm {
+			if c.Topic == "BDDs" || c.Topic == "Computational Boolean Algebra" {
+				fmt.Printf("  %-34s %-32s %3d slides\n", c.Topic, c.Name, c.Slides)
+			}
+		}
+		concepts, slides, _ := mooc.ConceptStats(cm)
+		fmt.Printf("  course total: %d concepts, %d slides\n\n", concepts, slides)
+	}
+	if show("2") {
+		fmt.Println("=== Figure 2: MOOC lecture catalog ===")
+		ls := mooc.Lectures()
+		count, hours, avg := mooc.LectureStats(ls)
+		for _, l := range ls {
+			fmt.Printf("  %-5s %-44s %5.1f min\n", l.Index, l.Title, l.Minutes)
+		}
+		fmt.Printf("  %d videos, average %.1f minutes, %.2f total hours\n", count, avg, hours)
+		e := mooc.CourseEfficiency()
+		fmt.Printf("  efficiency: %d of %d slides (%.0f%%) in %.0f%% of the lecture time\n\n",
+			e.MOOCSlides, e.TraditionalSlides, 100*e.ContentFraction(), 100*e.TimeFraction())
+	}
+	if show("8") {
+		fmt.Println("=== Figure 8: participation funnel ===")
+		f := cohort.Funnel()
+		fmt.Printf("  registered participants at peak : %6d\n", f.Registered)
+		fmt.Printf("  watched a video                 : %6d\n", f.WatchedVideo)
+		fmt.Printf("  did a homework                  : %6d\n", f.DidHomework)
+		fmt.Printf("  tried a software assignment     : %6d\n", f.TriedSoftware)
+		fmt.Printf("  took the final exam             : %6d\n", f.TookFinal)
+		fmt.Printf("  statements of accomplishment    : %6d\n", f.Certificates)
+		low, high := cohort.CompetencyEstimate()
+		fmt.Printf("  serious-EDA-competency estimate : %d .. %d\n\n", low, high)
+	}
+	if show("9") {
+		fmt.Println("=== Figure 9: per-lecture viewers (69 videos) ===")
+		v := cohort.Viewership()
+		for i, n := range v {
+			if i%5 == 0 || i == len(v)-1 {
+				bar := strings.Repeat("#", n/150)
+				fmt.Printf("  lecture %2d: %5d %s\n", i+1, n, bar)
+			}
+		}
+		fmt.Println()
+	}
+	if show("10") {
+		fmt.Println("=== Figure 10: demographics ===")
+		d := cohort.Demographics()
+		total := len(cohort.Participants)
+		for i, name := range d.TopCountries {
+			if i >= 12 {
+				break
+			}
+			fmt.Printf("  %-16s %5.2f%%\n", name, 100*float64(d.ByCountry[name])/float64(total))
+		}
+		fmt.Printf("  average age %.1f (min %d, max %d); female %.0f%%; BS %.0f%%, MS/PhD %.0f%%\n\n",
+			d.AvgAge, d.MinAge, d.MaxAge, 100*d.FemaleShare, 100*d.BSShare, 100*d.MSPhDShare)
+	}
+	if show("forum") || *fig == "all" {
+		fmt.Println("=== Section 3: forum activity (3 TAs) ===")
+		fs := cohort.SimulateForum(mooc.DefaultForumParams(), *seed)
+		for _, w := range fs.Weeks {
+			fmt.Printf("  week %2d: %5d active, %4d threads, %4d peer replies, %4d staff replies\n",
+				w.Week, w.Active, w.Threads, w.PeerReplies, w.StaffReplies)
+		}
+		fmt.Printf("  total %d threads, %.0f%% staff-answered, %.0f replies per TA\n\n",
+			fs.Threads, 100*fs.AnsweredFraction, fs.StaffPerTA)
+	}
+	if show("11") {
+		fmt.Println("=== Figure 11: survey word cloud (top 20) ===")
+		wc := mooc.MineWordCloud(mooc.SurveyResponses(1000, *seed))
+		for i, w := range wc {
+			if i >= 20 {
+				break
+			}
+			fmt.Printf("  %-14s %4d\n", w.Word, w.Count)
+		}
+	}
+}

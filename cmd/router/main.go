@@ -1,0 +1,83 @@
+// Command router runs the two-layer maze router: either the Figure 6
+// unit-test battery (-battery) or a full MCNC-style benchmark case,
+// reporting completion rate, wirelength and via counts, with an
+// optional ASCII rendering of a layer.
+//
+// Usage:
+//
+//	router -battery
+//	router -case fract [-seed N] [-render 0|1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vlsicad/internal/bench"
+	"vlsicad/internal/grader"
+	"vlsicad/internal/place"
+	"vlsicad/internal/route"
+)
+
+func main() {
+	battery := flag.Bool("battery", false, "run the Figure 6 router unit-test battery")
+	global := flag.Bool("global", false, "run coarse global routing and print the congestion map")
+	caseName := flag.String("case", "fract", "benchmark case")
+	seed := flag.Int64("seed", 1, "seed")
+	render := flag.Int("render", -1, "render this layer as ASCII after routing")
+	flag.Parse()
+
+	if *battery {
+		rep := grader.RunRouterBattery(grader.ReferenceRouter)
+		fmt.Print(rep)
+		return
+	}
+	var c *bench.Case
+	for _, bc := range bench.Suite() {
+		if bc.Name == *caseName {
+			cc := bc
+			c = &cc
+			break
+		}
+	}
+	if c == nil {
+		fmt.Fprintf(os.Stderr, "router: unknown case %q\n", *caseName)
+		os.Exit(1)
+	}
+	p := bench.Placement(*c, *seed)
+	pl, err := place.Quadratic(p, place.QuadraticOpts{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(1)
+	}
+	legal, err := place.Legalize(p, pl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(1)
+	}
+	g, nets := bench.Routing(*c, legal, p, *seed, 0.02)
+	if *global {
+		// Coarse grid: one GCell per 5x5 detailed cells, capacity 6.
+		gg := route.NewGGrid(g.W/5+1, g.H/5+1, 6)
+		coarse := make([]route.Net, len(nets))
+		for i, n := range nets {
+			coarse[i] = route.Net{Name: n.Name,
+				A: route.Point{X: n.A.X / 5, Y: n.A.Y / 5},
+				B: route.Point{X: n.B.X / 5, Y: n.B.Y / 5}}
+		}
+		gres := gg.GlobalRoute(coarse)
+		fmt.Printf("global route: %s\n", gres)
+		fmt.Print(gg.CongestionMap())
+		return
+	}
+	res := route.RouteAll(g, nets, route.Opts{
+		Alg: route.AStar, Order: route.OrderShortFirst, RipupRounds: 5, Seed: *seed,
+	})
+	fmt.Printf("case=%s grid=%dx%d nets=%d routed=%d failed=%d completion=%.1f%% wirelength=%d vias=%d\n",
+		c.Name, g.W, g.H, len(nets), len(res.Paths), len(res.Failed),
+		100*float64(len(res.Paths))/float64(len(nets)), res.Length, res.Vias)
+	if *render >= 0 && *render < route.Layers {
+		fmt.Print(route.Render(g, *render, res.Paths))
+	}
+}

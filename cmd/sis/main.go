@@ -1,0 +1,34 @@
+// Command sis runs the multi-level synthesis shell on a BLIF network:
+// the input (stdin or a file argument) is the BLIF model followed by
+// script commands (print_stats, sweep, simplify, full_simplify,
+// eliminate N, fx, decomp, factor, print), one per line. The resulting
+// network is printed as BLIF — the MOOC's SIS portal.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vlsicad/internal/portal"
+)
+
+func main() {
+	var src []byte
+	var err error
+	if len(os.Args) > 1 {
+		src, err = os.ReadFile(os.Args[1])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sis:", err)
+		os.Exit(1)
+	}
+	out, err := portal.SISTool().Run(string(src), make(chan struct{}))
+	fmt.Print(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sis:", err)
+		os.Exit(1)
+	}
+}

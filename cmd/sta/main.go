@@ -1,0 +1,46 @@
+// Command sta reads a BLIF network (stdin or file argument), runs the
+// full flow through technology mapping, and prints the static timing
+// report: arrivals, slacks, the critical path, and a slack histogram.
+// With -wire, Elmore wire delays from the routed design are included.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vlsicad"
+)
+
+func main() {
+	wire := flag.Bool("wire", false, "include Elmore wire delays from routing")
+	buckets := flag.Int("hist", 5, "slack histogram buckets (0 disables)")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sta:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	flow, err := vlsicad.RunFlow(in, vlsicad.FlowOpts{WireModel: *wire})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sta:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gates=%d area=%.1f\n", len(flow.Mapping.Matches), flow.Area)
+	fmt.Print(flow.Timing)
+	if *buckets > 0 {
+		counts, edges := flow.Timing.SlackHistogram(*buckets)
+		fmt.Println("slack histogram:")
+		for i, c := range counts {
+			fmt.Printf("  [%7.2f, %7.2f) %4d %s\n",
+				edges[i], edges[i+1], c, strings.Repeat("#", c))
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command urp is the Project 1 tool: Unate-Recursive-Paradigm
+// operations on positional-cube-notation covers. The cover is read
+// from stdin, one cube per line in 0/1/- notation.
+//
+// Usage:
+//
+//	urp complement            print the complement cover
+//	urp tautology             print yes/no
+//	urp cofactor <var> <0|1>  print the Shannon cofactor (1-based var)
+//	urp count                 print the number of minterms
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"vlsicad/internal/cube"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	input, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	var rows []string
+	for _, line := range strings.Split(string(input), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			rows = append(rows, line)
+		}
+	}
+	if len(rows) == 0 {
+		fatal(fmt.Errorf("empty cover on stdin"))
+	}
+	f, err := cube.ParseCover(rows)
+	if err != nil {
+		fatal(err)
+	}
+	switch os.Args[1] {
+	case "complement":
+		printCover(f.Complement())
+	case "tautology":
+		if f.IsTautology() {
+			fmt.Println("yes")
+		} else {
+			fmt.Println("no")
+		}
+	case "cofactor":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		v, err := strconv.Atoi(os.Args[2])
+		if err != nil || v < 1 || v > f.N {
+			fatal(fmt.Errorf("variable must be 1..%d", f.N))
+		}
+		phase := os.Args[3] == "1"
+		printCover(f.Cofactor(v-1, phase))
+	case "count":
+		if f.N > 24 {
+			fatal(fmt.Errorf("count limited to 24 variables"))
+		}
+		fmt.Println(len(f.Minterms()))
+	default:
+		usage()
+	}
+}
+
+func printCover(f *cube.Cover) {
+	if f.IsEmpty() {
+		fmt.Println("# empty cover (constant 0)")
+		return
+	}
+	for _, c := range f.Cubes {
+		row := make([]byte, len(c))
+		for i, l := range c {
+			switch l {
+			case cube.Pos:
+				row[i] = '1'
+			case cube.Neg:
+				row[i] = '0'
+			default:
+				row[i] = '-'
+			}
+		}
+		fmt.Println(string(row))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "urp:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: urp complement|tautology|count|cofactor <var> <0|1>  (cover on stdin)")
+	os.Exit(2)
+}

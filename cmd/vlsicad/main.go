@@ -1,0 +1,56 @@
+// Command vlsicad runs the complete logic-to-layout flow on a BLIF
+// network (stdin or file argument): synthesis, formal verification,
+// technology mapping, placement, routing and static timing, printing
+// a one-screen summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vlsicad"
+)
+
+func main() {
+	wire := flag.Bool("wire", false, "include Elmore wire delays in timing")
+	checkDRC := flag.Bool("drc", false, "design-rule-check the routed wires")
+	seed := flag.Int64("seed", 1, "seed for randomized stages")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vlsicad:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	flow, err := vlsicad.RunFlow(in, vlsicad.FlowOpts{WireModel: *wire, Seed: *seed, CheckDRC: *checkDRC})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlsicad:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("model          : %s\n", flow.Source.Name)
+	fmt.Printf("synthesis      : %d -> %d SOP literals (verified equivalent: %v)\n",
+		flow.LiteralsBefore, flow.LiteralsAfter, flow.Equivalent)
+	fmt.Printf("mapping        : %d gates, area %.1f\n", len(flow.Mapping.Matches), flow.Area)
+	fmt.Printf("placement      : %d cells on %gx%g, HPWL %.1f\n",
+		flow.PlaceProblem.NCells, flow.PlaceProblem.W, flow.PlaceProblem.H, flow.HPWL)
+	fmt.Printf("routing        : %d/%d nets, wirelength %d, vias %d\n",
+		len(flow.Routing.Paths), len(flow.Nets), flow.WireLength, flow.Vias)
+	if *checkDRC {
+		fmt.Printf("drc            : %d violations\n", len(flow.DRC))
+		for i, v := range flow.DRC {
+			if i >= 5 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	fmt.Printf("timing         : critical delay %.2f\n", flow.CriticalDelay)
+	fmt.Printf("critical path  : %v\n", flow.Timing.CriticalPath)
+}

@@ -1,0 +1,42 @@
+package vlsicad_test
+
+import (
+	"fmt"
+	"strings"
+
+	"vlsicad"
+)
+
+// ExampleRunFlow drives the whole course flow on a one-bit full adder.
+func ExampleRunFlow() {
+	const adder = `
+.model adder
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+	flow, err := vlsicad.RunFlow(strings.NewReader(adder), vlsicad.FlowOpts{
+		VerifyMapping: true,
+		CheckDRC:      true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("synthesis verified:", flow.Equivalent)
+	fmt.Println("all nets routed:", len(flow.Routing.Failed) == 0)
+	fmt.Println("drc violations:", len(flow.DRC))
+	// Output:
+	// synthesis verified: true
+	// all nets routed: true
+	// drc violations: 0
+}

@@ -1,0 +1,55 @@
+// Moocreport simulates the first offering of the MOOC and prints the
+// paper's Section 4 data — the funnel, viewership landmarks,
+// demographics and the survey — next to the published numbers, plus a
+// demonstration of the randomized, self-grading homework generator.
+package main
+
+import (
+	"fmt"
+
+	"vlsicad/internal/mooc"
+)
+
+func main() {
+	cohort := mooc.Simulate(mooc.PaperParams(), 2013)
+	f := cohort.Funnel()
+	fmt.Println("participation funnel          simulated   paper")
+	row := func(name string, got, want int) {
+		fmt.Printf("  %-28s %7d  %6d\n", name, got, want)
+	}
+	row("registered at peak", f.Registered, 17500)
+	row("watched a video", f.WatchedVideo, 7191)
+	row("did a homework", f.DidHomework, 1377)
+	row("tried a software assignment", f.TriedSoftware, 369)
+	row("took the final exam", f.TookFinal, 530)
+	row("accomplishment certificates", f.Certificates, 386)
+
+	v := cohort.Viewership()
+	fmt.Printf("\nviewership: intro %d (~7000), mid-course %d (~5000), finished %d (~2000)\n",
+		v[0], v[19], v[68])
+
+	d := cohort.Demographics()
+	fmt.Printf("\ndemographics: avg age %.1f (paper 30), %.0f%% female (paper 12%%), "+
+		"BS %.0f%% (30%%), MS/PhD %.0f%% (29%%)\n",
+		d.AvgAge, 100*d.FemaleShare, 100*d.BSShare, 100*d.MSPhDShare)
+	fmt.Printf("top countries: %v\n", d.TopCountries[:5])
+
+	acc, mas := cohort.CertificateBreakdown()
+	fmt.Printf("\ncompletion tracks: %d Accomplishment, %d Mastery (projects + final)\n", acc, mas)
+
+	forum := cohort.SimulateForum(mooc.DefaultForumParams(), 2013)
+	fmt.Printf("forums: %d threads over 10 weeks, %.0f%% staff-answered, ~%.0f replies per TA\n",
+		forum.Threads, 100*forum.AnsweredFraction, forum.StaffPerTA)
+
+	low, high := cohort.CompetencyEstimate()
+	fmt.Printf("\n\"added to the planet between 500 and 2000 persons with a serious\n"+
+		"level of EDA-competency\": simulated bracket %d .. %d\n", low, high)
+
+	fmt.Println("\nrandomized homework (two participants, same week):")
+	for _, user := range []string{"ada", "grace"} {
+		hw := mooc.GenerateHomework(2, user, 2)
+		for _, q := range hw.Questions {
+			fmt.Printf("  [%s/%s] %s\n      answer: %s\n", user, q.ID, q.Prompt, q.Answer)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package vlsicad is the public facade of the VLSI CAD: Logic to
+// Layout reproduction: a complete ASIC flow — multi-level synthesis,
+// formal verification, technology mapping, placement, routing and
+// static timing — assembled from the course's engines under
+// internal/. The facade is what the examples and command-line tools
+// drive; each stage is also available individually through its
+// package.
+package vlsicad
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"vlsicad/internal/drc"
+	"vlsicad/internal/mls"
+	"vlsicad/internal/netlist"
+	"vlsicad/internal/place"
+	"vlsicad/internal/route"
+	"vlsicad/internal/techmap"
+	"vlsicad/internal/timing"
+)
+
+// FlowOpts configures RunFlow.
+type FlowOpts struct {
+	// SkipSynthesis leaves the network as parsed.
+	SkipSynthesis bool
+	// MapObjective selects area (default) or delay mapping.
+	MapObjective techmap.Objective
+	// Utilization sets placement density (cells per slot); default 0.5.
+	Utilization float64
+	// RouteScale sets routing tracks per placement slot; default 3.
+	RouteScale int
+	// Seed drives the randomized stages (routing rip-up order).
+	Seed int64
+	// WireModel enables Elmore wire delays in timing (per routed net).
+	WireModel bool
+	// CheckDRC runs design-rule checking on the routed wires.
+	CheckDRC bool
+	// VerifyMapping formally checks the mapped gate netlist against
+	// the synthesized network (BDD equivalence; costly on very wide
+	// input spaces).
+	VerifyMapping bool
+}
+
+// Flow is the result of a full run: every intermediate artifact plus
+// summary metrics.
+type Flow struct {
+	Source      *netlist.Network
+	Synthesized *netlist.Network
+	Equivalent  bool // synthesis verified against the source
+
+	Subject *techmap.Subject
+	Mapping *techmap.Result
+
+	PlaceProblem *place.Problem
+	Placement    *place.Placement
+
+	Grid    *route.Grid
+	Nets    []route.Net
+	Routing *route.Result
+
+	Timing *timing.Report
+
+	// DRC holds design-rule violations of the routed wires (empty
+	// unless FlowOpts.CheckDRC was set and the layout is dirty).
+	DRC []drc.Violation
+
+	// Metrics.
+	LiteralsBefore int
+	LiteralsAfter  int
+	Area           float64
+	HPWL           float64
+	WireLength     int
+	Vias           int
+	CriticalDelay  float64
+}
+
+// RunFlow executes the full logic-to-layout flow on a BLIF model.
+func RunFlow(r io.Reader, opts FlowOpts) (*Flow, error) {
+	nw, err := netlist.ParseBLIF(r)
+	if err != nil {
+		return nil, err
+	}
+	return RunFlowOnNetwork(nw, opts)
+}
+
+// RunFlowOnNetwork is RunFlow starting from an in-memory network.
+func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
+	if opts.Utilization <= 0 || opts.Utilization > 1 {
+		opts.Utilization = 0.5
+	}
+	if opts.RouteScale <= 0 {
+		opts.RouteScale = 3
+	}
+	f := &Flow{Source: nw.Clone(), LiteralsBefore: nw.Literals()}
+
+	// 1. Synthesis (Weeks 3-4): extract common divisors, simplify,
+	// sweep; verify with BDD equivalence (Week 2).
+	work := nw.Clone()
+	if !opts.SkipSynthesis {
+		mls.ExtractKernels(work, "fx_", 10)
+		mls.Simplify(work)
+		mls.SweepConstants(work)
+	}
+	f.Synthesized = work
+	f.LiteralsAfter = work.Literals()
+	eq, err := netlist.EquivalentBDD(nw, work)
+	if err != nil {
+		return nil, fmt.Errorf("vlsicad: synthesis verification: %w", err)
+	}
+	f.Equivalent = eq
+	if !eq {
+		return f, fmt.Errorf("vlsicad: synthesis changed the function")
+	}
+
+	// 2. Technology mapping (Week 5).
+	subj, err := techmap.FromNetwork(work)
+	if err != nil {
+		return nil, err
+	}
+	f.Subject = subj
+	mapping, err := techmap.Map(subj, techmap.StandardLibrary(), opts.MapObjective)
+	if err != nil {
+		return nil, err
+	}
+	f.Mapping = mapping
+	f.Area = mapping.Area
+	if opts.VerifyMapping {
+		mapped, err := techmap.ToNetwork(subj, mapping, techmap.StandardLibrary(),
+			work.Name+"_mapped", work.Inputs, work.Outputs)
+		if err != nil {
+			return nil, fmt.Errorf("vlsicad: mapped-netlist export: %w", err)
+		}
+		eqM, err := netlist.EquivalentBDD(work, mapped)
+		if err != nil {
+			return nil, fmt.Errorf("vlsicad: mapping verification: %w", err)
+		}
+		if !eqM {
+			return f, fmt.Errorf("vlsicad: technology mapping changed the function")
+		}
+	}
+
+	// 3. Placement (Week 6): one cell per mapped gate; nets from the
+	// gate-level connectivity; pads for the primary inputs/outputs.
+	prob, cellOf, err := placementFromMapping(work, subj, mapping, opts.Utilization)
+	if err != nil {
+		return nil, err
+	}
+	f.PlaceProblem = prob
+	global, err := place.Quadratic(prob, place.QuadraticOpts{})
+	if err != nil {
+		return nil, err
+	}
+	legal, err := place.Legalize(prob, global)
+	if err != nil {
+		return nil, err
+	}
+	if err := place.CheckLegal(prob, legal); err != nil {
+		return nil, fmt.Errorf("vlsicad: legalization: %w", err)
+	}
+	f.Placement = legal
+	f.HPWL = prob.HPWL(legal)
+
+	// 4. Routing (Week 7).
+	grid, nets := routingFromPlacement(prob, legal, opts.RouteScale, opts.Seed)
+	f.Grid = grid
+	f.Nets = nets
+	f.Routing = route.RouteAll(grid, nets, route.Opts{
+		Alg:         route.AStar,
+		Order:       route.OrderShortFirst,
+		RipupRounds: 5,
+		Seed:        opts.Seed,
+	})
+	f.WireLength = f.Routing.Length
+	f.Vias = f.Routing.Vias
+	if opts.CheckDRC {
+		// Pitch 6 with half-pitch wires keeps legally routed tracks
+		// clean under the default 2-unit rules.
+		shapes := drc.WiresToShapes(f.Routing.Paths, 6)
+		f.DRC = drc.Check(shapes, drc.DefaultRules())
+	}
+
+	// 5. Static timing (Week 8) over the mapped gates, optionally with
+	// Elmore wire delays from the routed wirelengths.
+	rep, err := timingFromMapping(work, subj, mapping, f, cellOf, opts.WireModel)
+	if err != nil {
+		return nil, err
+	}
+	f.Timing = rep
+	f.CriticalDelay = rep.MaxArrival
+	return f, nil
+}
+
+// placementFromMapping builds the placement instance: one movable
+// cell per emitted gate, boundary pads for the PIs and POs.
+func placementFromMapping(nw *netlist.Network, subj *techmap.Subject, mp *techmap.Result, util float64) (*place.Problem, map[int]int, error) {
+	cellOf := map[int]int{} // subject root id -> cell index
+	for i, m := range mp.Matches {
+		cellOf[m.Root] = i
+	}
+	n := len(mp.Matches)
+	side := int(math.Ceil(math.Sqrt(float64(n) / util)))
+	if side < 2 {
+		side = 2
+	}
+	prob := &place.Problem{NCells: n, W: float64(side), H: float64(side)}
+
+	padOf := map[string]int{}
+	addPad := func(name string, i, total int) int {
+		if id, ok := padOf[name]; ok {
+			return id
+		}
+		t := float64(i) / float64(total)
+		var x, y float64
+		switch i % 4 {
+		case 0:
+			x, y = t*prob.W, 0
+		case 1:
+			x, y = prob.W, t*prob.H
+		case 2:
+			x, y = (1-t)*prob.W, prob.H
+		default:
+			x, y = 0, (1-t)*prob.H
+		}
+		id := len(prob.Pads)
+		prob.Pads = append(prob.Pads, place.Pad{Name: name, X: x, Y: y})
+		padOf[name] = id
+		return id
+	}
+	ios := append([]string(nil), nw.Inputs...)
+	ios = append(ios, nw.Outputs...)
+	for i, name := range ios {
+		addPad(name, i, len(ios))
+	}
+
+	// A net per driving subject node: driver gate or input leaf to
+	// all consuming gates.
+	consumers := map[int][]int{} // subject node id -> consuming cells
+	for ci, m := range mp.Matches {
+		for _, leaf := range m.Leaves {
+			consumers[leaf] = append(consumers[leaf], ci)
+		}
+	}
+	for node, cons := range consumers {
+		net := place.Net{}
+		seen := map[int]bool{}
+		for _, c := range cons {
+			if !seen[c] {
+				net.Cells = append(net.Cells, c)
+				seen[c] = true
+			}
+		}
+		if dc, ok := cellOf[node]; ok {
+			if !seen[dc] {
+				net.Cells = append(net.Cells, dc)
+			}
+		} else {
+			// Leaf is a primary input (or constant): pad if known.
+			name := subj.Nodes[node].Name
+			if id, ok := padOf[name]; ok {
+				net.Pads = append(net.Pads, id)
+			}
+		}
+		if len(net.Cells)+len(net.Pads) >= 2 {
+			prob.Nets = append(prob.Nets, net)
+		}
+	}
+	// Output pads connect to their driving gates.
+	for _, out := range nw.Outputs {
+		root, ok := subj.Roots[out]
+		if !ok {
+			continue
+		}
+		if c, ok := cellOf[root]; ok {
+			prob.Nets = append(prob.Nets, place.Net{Cells: []int{c}, Pads: []int{padOf[out]}})
+		}
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return prob, cellOf, nil
+}
+
+// routingFromPlacement derives two-pin routing requests from the
+// placement (each placement net connects its extreme pins).
+func routingFromPlacement(prob *place.Problem, pl *place.Placement, scale int, seed int64) (*route.Grid, []route.Net) {
+	g := route.NewGrid(int(prob.W)*scale+2, int(prob.H)*scale+2, route.DefaultCost())
+	used := map[route.Point]bool{}
+	pin := func(x, y float64) (route.Point, bool) {
+		base := route.Point{X: int(x * float64(scale)), Y: int(y * float64(scale)), L: 0}
+		for dy := 0; dy < scale; dy++ {
+			for dx := 0; dx < scale; dx++ {
+				p := route.Point{X: base.X + dx, Y: base.Y + dy, L: 0}
+				if g.In(p) && !used[p] {
+					used[p] = true
+					return p, true
+				}
+			}
+		}
+		return route.Point{}, false
+	}
+	var nets []route.Net
+	for ni, n := range prob.Nets {
+		type pt struct{ x, y float64 }
+		var pts []pt
+		for _, c := range n.Cells {
+			pts = append(pts, pt{pl.X[c], pl.Y[c]})
+		}
+		for _, pd := range n.Pads {
+			x := prob.Pads[pd].X
+			y := prob.Pads[pd].Y
+			// Clamp pad coordinates inside the grid.
+			if x >= prob.W {
+				x = prob.W - 0.5
+			}
+			if y >= prob.H {
+				y = prob.H - 0.5
+			}
+			pts = append(pts, pt{x, y})
+		}
+		if len(pts) < 2 {
+			continue
+		}
+		a, okA := pin(pts[0].x, pts[0].y)
+		b, okB := pin(pts[len(pts)-1].x, pts[len(pts)-1].y)
+		if !okA || !okB || a == b {
+			continue
+		}
+		nets = append(nets, route.Net{Name: fmt.Sprintf("n%d", ni), A: a, B: b})
+	}
+	return g, nets
+}
+
+// timingFromMapping builds the gate-level timing graph, adding Elmore
+// wire delays per routed net when wireModel is set.
+func timingFromMapping(nw *netlist.Network, subj *techmap.Subject, mp *techmap.Result, f *Flow, cellOf map[int]int, wireModel bool) (*timing.Report, error) {
+	delayOf := map[string]float64{}
+	for _, g := range techmap.StandardLibrary() {
+		delayOf[g.Name] = g.Delay
+	}
+	sigName := func(id int) string {
+		n := subj.Nodes[id]
+		if n.Kind == techmap.KInput {
+			return n.Name
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+	// Per-net wire delay from routed wirelength (uniform RC line).
+	wireDelay := 0.0
+	if wireModel && f.Routing != nil && len(f.Routing.Paths) > 0 {
+		total := 0
+		for _, p := range f.Routing.Paths {
+			total += p.Wirelength()
+		}
+		avg := float64(total) / float64(len(f.Routing.Paths))
+		t := timing.WireRC(1.0, 0.05, 0.1, int(avg)+1, 4, 0.2)
+		d, err := t.SinkDelay()
+		if err != nil {
+			return nil, err
+		}
+		wireDelay = d
+	}
+	g := &timing.Graph{
+		PIArrival:  map[string]float64{},
+		PORequired: map[string]float64{},
+	}
+	for _, in := range subj.InputNames() {
+		g.PIArrival[in] = 0
+	}
+	for _, m := range mp.Matches {
+		var ins []string
+		for _, leaf := range m.Leaves {
+			ins = append(ins, sigName(leaf))
+		}
+		g.Gates = append(g.Gates, timing.Gate{
+			Name:   fmt.Sprintf("%s_%d", m.Gate, m.Root),
+			Output: sigName(m.Root),
+			Inputs: ins,
+			Delay:  delayOf[m.Gate] + wireDelay,
+		})
+	}
+	// Outputs: signals of the mapped roots. Required times are set to
+	// the worst arrival (two-pass), so the critical path reads slack 0
+	// — the course's reporting convention when no clock is given.
+	for _, root := range subj.Roots {
+		sig := sigName(root)
+		if _, isPI := g.PIArrival[sig]; isPI {
+			continue // output is a feedthrough of an input
+		}
+		g.PORequired[sig] = 1e9
+	}
+	if len(g.PORequired) == 0 {
+		return &timing.Report{Signals: map[string]timing.SignalTiming{}}, nil
+	}
+	first, err := timing.Analyze(g)
+	if err != nil {
+		return nil, err
+	}
+	for sig := range g.PORequired {
+		g.PORequired[sig] = first.MaxArrival
+	}
+	return timing.Analyze(g)
+}

@@ -1,0 +1,3 @@
+module vlsicad
+
+go 1.22

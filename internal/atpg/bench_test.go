@@ -1,0 +1,25 @@
+package atpg
+
+import (
+	"testing"
+
+	"vlsicad/internal/bench"
+)
+
+// BenchmarkATPGCoverage runs full stuck-at ATPG on a synthetic
+// network and reports coverage and test-set size.
+func BenchmarkATPGCoverage(b *testing.B) {
+	nw := bench.Network(bench.NetworkSpec{Name: "a", Inputs: 6, Nodes: 15, Outputs: 3}, 4)
+	var cov float64
+	var tests int
+	for i := 0; i < b.N; i++ {
+		res, err := Run(nw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov = res.Coverage()
+		tests = len(res.Tests)
+	}
+	b.ReportMetric(100*cov, "coverage_pct")
+	b.ReportMetric(float64(tests), "vectors")
+}

@@ -1,0 +1,88 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the BDD rooted at f in Graphviz DOT form — the offline
+// replacement for the course's browser-based diagram viewer. Solid
+// edges are the 1-cofactor, dashed the 0-cofactor.
+func (m *Manager) Dot(f Node, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node0 [label=\"0\", shape=box];\n")
+	b.WriteString("  node1 [label=\"1\", shape=box];\n")
+
+	seen := map[Node]bool{FalseNode: true, TrueNode: true}
+	byLevel := map[int32][]Node{}
+	var collect func(n Node)
+	collect = func(n Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		rec := m.nodes[n]
+		byLevel[rec.level] = append(byLevel[rec.level], n)
+		collect(rec.lo)
+		collect(rec.hi)
+	}
+	collect(f)
+
+	var levels []int32
+	for lvl := range byLevel {
+		levels = append(levels, lvl)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	for _, lvl := range levels {
+		nodes := byLevel[lvl]
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		b.WriteString("  { rank=same;")
+		for _, n := range nodes {
+			fmt.Fprintf(&b, " node%d;", n)
+		}
+		b.WriteString(" }\n")
+		for _, n := range nodes {
+			rec := m.nodes[n]
+			fmt.Fprintf(&b, "  node%d [label=%q, shape=circle];\n",
+				n, m.names[m.varAtLevel[rec.level]])
+			fmt.Fprintf(&b, "  node%d -> node%d [style=dashed];\n", n, rec.lo)
+			fmt.Fprintf(&b, "  node%d -> node%d;\n", n, rec.hi)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Permute returns f with variables renamed according to perm
+// (perm[old] = new). The result lives in the same manager, built by
+// composition from the bottom up.
+func (m *Manager) Permute(f Node, perm []int) (Node, error) {
+	if len(perm) != m.nvars {
+		return FalseNode, fmt.Errorf("bdd: permutation has %d entries, want %d", len(perm), m.nvars)
+	}
+	seen := make([]bool, m.nvars)
+	for _, v := range perm {
+		if v < 0 || v >= m.nvars || seen[v] {
+			return FalseNode, fmt.Errorf("bdd: not a permutation")
+		}
+		seen[v] = true
+	}
+	memo := map[Node]Node{FalseNode: FalseNode, TrueNode: TrueNode}
+	var walk func(n Node) Node
+	walk = func(n Node) Node {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		rec := m.nodes[n]
+		v := int(m.varAtLevel[rec.level])
+		lo := walk(rec.lo)
+		hi := walk(rec.hi)
+		r := m.ITE(m.Var(perm[v]), hi, lo)
+		memo[n] = r
+		return r
+	}
+	return walk(f), nil
+}

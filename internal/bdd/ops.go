@@ -1,0 +1,170 @@
+package bdd
+
+// ITE computes if-then-else: f·g + f'·h. Every binary Boolean
+// connective is a special case of ITE, which is how the package (and
+// the course) builds them.
+func (m *Manager) ITE(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == TrueNode:
+		return g
+	case f == FalseNode:
+		return h
+	case g == h:
+		return g
+	case g == TrueNode && h == FalseNode:
+		return f
+	}
+	key := cacheKey{opITE, f, g, h}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	// Split on the topmost variable among f, g, h.
+	lvl := m.level(f)
+	if l := m.level(g); l < lvl {
+		lvl = l
+	}
+	if l := m.level(h); l < lvl {
+		lvl = l
+	}
+	f0, f1 := m.cofactorAt(f, lvl)
+	g0, g1 := m.cofactorAt(g, lvl)
+	h0, h1 := m.cofactorAt(h, lvl)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(lvl, lo, hi)
+	m.cache[key] = r
+	return r
+}
+
+// cofactorAt returns the (lo, hi) cofactors of f with respect to the
+// variable at the given level; if f's top level is below, both are f.
+func (m *Manager) cofactorAt(f Node, lvl int32) (Node, Node) {
+	rec := m.nodes[f]
+	if rec.level != lvl {
+		return f, f
+	}
+	return rec.lo, rec.hi
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Node) Node { return m.ITE(f, FalseNode, TrueNode) }
+
+// And returns the conjunction of the given nodes (TrueNode for none).
+func (m *Manager) And(fs ...Node) Node {
+	r := TrueNode
+	for _, f := range fs {
+		r = m.ITE(r, f, FalseNode)
+		if r == FalseNode {
+			return FalseNode
+		}
+	}
+	return r
+}
+
+// Or returns the disjunction of the given nodes (FalseNode for none).
+func (m *Manager) Or(fs ...Node) Node {
+	r := FalseNode
+	for _, f := range fs {
+		r = m.ITE(r, TrueNode, f)
+		if r == TrueNode {
+			return TrueNode
+		}
+	}
+	return r
+}
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node { return m.ITE(f, m.Not(g), g) }
+
+// Xnor returns the equivalence f ≡ g.
+func (m *Manager) Xnor(f, g Node) Node { return m.ITE(f, g, m.Not(g)) }
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Node) Node { return m.ITE(f, g, TrueNode) }
+
+// Restrict returns the Shannon cofactor of f with variable v fixed to
+// the given value.
+func (m *Manager) Restrict(f Node, v int, value bool) Node {
+	lvl := m.levelOfVar[v]
+	sel := Node(FalseNode)
+	if value {
+		sel = TrueNode
+	}
+	return m.restrictRec(f, lvl, sel)
+}
+
+func (m *Manager) restrictRec(f Node, lvl int32, sel Node) Node {
+	rec := m.nodes[f]
+	if rec.level > lvl {
+		return f
+	}
+	key := cacheKey{opRestrict, f, Node(lvl), sel}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	var r Node
+	if rec.level == lvl {
+		if sel == TrueNode {
+			r = rec.hi
+		} else {
+			r = rec.lo
+		}
+	} else {
+		lo := m.restrictRec(rec.lo, lvl, sel)
+		hi := m.restrictRec(rec.hi, lvl, sel)
+		r = m.mk(rec.level, lo, hi)
+	}
+	m.cache[key] = r
+	return r
+}
+
+// Compose substitutes function g for variable v inside f:
+// f[v := g] = ITE(g, f|v=1, f|v=0).
+func (m *Manager) Compose(f Node, v int, g Node) Node {
+	key := cacheKey{opCompose, f, Node(v), g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	r := m.ITE(g, m.Restrict(f, v, true), m.Restrict(f, v, false))
+	m.cache[key] = r
+	return r
+}
+
+// Eval evaluates f under a complete assignment (indexed by variable).
+func (m *Manager) Eval(f Node, assign []bool) bool {
+	for !m.IsTerminal(f) {
+		rec := m.nodes[f]
+		if assign[m.varAtLevel[rec.level]] {
+			f = rec.hi
+		} else {
+			f = rec.lo
+		}
+	}
+	return f == TrueNode
+}
+
+// Support returns the sorted variable indices on which f depends.
+func (m *Manager) Support(f Node) []int {
+	inSupp := make([]bool, m.nvars)
+	seen := map[Node]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if seen[n] || m.IsTerminal(n) {
+			return
+		}
+		seen[n] = true
+		rec := m.nodes[n]
+		inSupp[m.varAtLevel[rec.level]] = true
+		walk(rec.lo)
+		walk(rec.hi)
+	}
+	walk(f)
+	var out []int
+	for v, in := range inSupp {
+		if in {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package cube
+
+// Prime generation by iterated consensus — the Week-1 classic: keep
+// adding consensus cubes and absorbing contained ones until closure;
+// the surviving cubes are exactly the prime implicants.
+
+// Primes returns all prime implicants of the cover's function using
+// iterated consensus. Intended for teaching-scale functions (the
+// closure can be exponential).
+func (f *Cover) Primes() *Cover {
+	cur := f.Clone().SCC()
+	for {
+		changed := false
+		n := len(cur.Cubes)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				c, ok := Consensus(cur.Cubes[i], cur.Cubes[j])
+				if !ok {
+					continue
+				}
+				// Skip if already contained in some cube.
+				contained := false
+				for _, d := range cur.Cubes {
+					if d.Contains(c) {
+						contained = true
+						break
+					}
+				}
+				if !contained {
+					cur.Add(c)
+					changed = true
+				}
+			}
+		}
+		cur = cur.SCC()
+		if !changed {
+			break
+		}
+	}
+	// After closure + single-cube containment, every cube is prime.
+	return cur
+}
+
+// IsPrime reports whether c is a prime implicant of f: c implies f
+// and no literal of c can be raised without leaving f.
+func (f *Cover) IsPrime(c Cube) bool {
+	single := &Cover{N: f.N, Cubes: []Cube{c.Clone()}}
+	if !f.Covers(single) {
+		return false
+	}
+	for v := 0; v < f.N; v++ {
+		if c[v] == DC {
+			continue
+		}
+		raised := c.Clone()
+		raised[v] = DC
+		if f.Covers(&Cover{N: f.N, Cubes: []Cube{raised}}) {
+			return false // could be raised: not prime
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+
+	"vlsicad/internal/cube"
+)
+
+// Quality-gap bench: the heuristic loop vs the exact QM baseline.
+
+func randomOnSet(rng *rand.Rand, n int) *cube.Cover {
+	var mins []uint
+	for m := uint(0); m < 1<<uint(n); m++ {
+		if rng.Intn(2) == 0 {
+			mins = append(mins, m)
+		}
+	}
+	if len(mins) == 0 {
+		mins = []uint{0}
+	}
+	return cube.FromMinterms(n, mins)
+}
+
+func BenchmarkHeuristicMinimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	funcs := make([]*cube.Cover, 16)
+	for i := range funcs {
+		funcs[i] = randomOnSet(rng, 6)
+	}
+	var cubes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		min, _ := Minimize(funcs[i%len(funcs)], nil)
+		cubes = len(min.Cubes)
+	}
+	b.ReportMetric(float64(cubes), "cubes")
+}
+
+func BenchmarkExactMinimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	funcs := make([]*cube.Cover, 16)
+	for i := range funcs {
+		funcs[i] = randomOnSet(rng, 6)
+	}
+	var cubes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		min, err := MinimizeExact(funcs[i%len(funcs)], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cubes = len(min.Cubes)
+	}
+	b.ReportMetric(float64(cubes), "cubes")
+}
+
+// BenchmarkQualityGap reports the average cube overhead of the
+// heuristic over exact on a fixed sample.
+func BenchmarkQualityGap(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		heurTotal, exactTotal := 0, 0
+		for k := 0; k < 20; k++ {
+			on := randomOnSet(rng, 5)
+			h, _ := Minimize(on, nil)
+			e, err := MinimizeExact(on, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			heurTotal += len(h.Cubes)
+			exactTotal += len(e.Cubes)
+		}
+		gap = float64(heurTotal) / float64(exactTotal)
+	}
+	b.ReportMetric(gap, "heur_over_exact")
+}

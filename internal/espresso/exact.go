@@ -1,0 +1,207 @@
+package espresso
+
+import (
+	"fmt"
+	"sort"
+
+	"vlsicad/internal/cube"
+)
+
+// Exact two-level minimization: Quine–McCluskey prime generation
+// followed by branch-and-bound unate covering (the Petrick step solved
+// by search). Used as the quality baseline for the heuristic loop.
+
+// MinimizeExact returns a minimum-cube cover of the on-set given the
+// don't-care set (dc may be nil). It enumerates minterms, so it is
+// limited to functions of at most 16 variables.
+func MinimizeExact(on, dc *cube.Cover) (*cube.Cover, error) {
+	if on.N > 16 {
+		return nil, fmt.Errorf("espresso: exact minimization limited to 16 variables, got %d", on.N)
+	}
+	if dc == nil {
+		dc = cube.NewCover(on.N)
+	}
+	onMins := on.Minterms()
+	if len(onMins) == 0 {
+		return cube.NewCover(on.N), nil
+	}
+	dcSet := map[uint]bool{}
+	for _, m := range dc.Minterms() {
+		dcSet[m] = true
+	}
+	careOn := map[uint]bool{}
+	all := map[uint]bool{}
+	for _, m := range onMins {
+		all[m] = true
+		if !dcSet[m] {
+			careOn[m] = true
+		}
+	}
+	for m := range dcSet {
+		all[m] = true
+	}
+	if len(careOn) == 0 {
+		return cube.NewCover(on.N), nil
+	}
+	primes := generatePrimes(on.N, all)
+
+	// Build the covering table: rows = on-set minterms, columns = primes.
+	coverings := make([][]int, 0, len(careOn))
+	var mins []uint
+	for m := range careOn {
+		mins = append(mins, m)
+	}
+	sort.Slice(mins, func(i, j int) bool { return mins[i] < mins[j] })
+	for _, m := range mins {
+		var cols []int
+		for pi, p := range primes {
+			if cubeCoversMinterm(p, m) {
+				cols = append(cols, pi)
+			}
+		}
+		coverings = append(coverings, cols)
+	}
+
+	best := solveCover(len(primes), coverings)
+	out := cube.NewCover(on.N)
+	for _, pi := range best {
+		out.Add(primes[pi].Clone())
+	}
+	return out, nil
+}
+
+// generatePrimes runs classic QM merging over the care set (on ∪ dc)
+// and returns all prime implicants.
+func generatePrimes(n int, care map[uint]bool) []cube.Cube {
+	// Represent implicants as (bits, mask): mask bit set = don't care.
+	type imp struct{ bits, mask uint }
+	cur := map[imp]bool{}
+	for m := range care {
+		cur[imp{m, 0}] = true
+	}
+	var primes []imp
+	for len(cur) > 0 {
+		merged := map[imp]bool{}
+		wasMerged := map[imp]bool{}
+		list := make([]imp, 0, len(cur))
+		for im := range cur {
+			list = append(list, im)
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := a.bits ^ b.bits
+				if diff != 0 && diff&(diff-1) == 0 {
+					m := imp{a.bits &^ diff, a.mask | diff}
+					merged[m] = true
+					wasMerged[a] = true
+					wasMerged[b] = true
+				}
+			}
+		}
+		for im := range cur {
+			if !wasMerged[im] {
+				primes = append(primes, im)
+			}
+		}
+		cur = merged
+	}
+	out := make([]cube.Cube, 0, len(primes))
+	for _, im := range primes {
+		c := cube.NewCube(n)
+		for v := 0; v < n; v++ {
+			bit := uint(1) << uint(v)
+			if im.mask&bit != 0 {
+				continue
+			}
+			if im.bits&bit != 0 {
+				c[v] = cube.Pos
+			} else {
+				c[v] = cube.Neg
+			}
+		}
+		out = append(out, c)
+	}
+	// Deterministic order: larger cubes (fewer literals) first.
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i].Literals(), out[j].Literals()
+		if li != lj {
+			return li < lj
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+func cubeCoversMinterm(c cube.Cube, m uint) bool {
+	for v, l := range c {
+		bit := m&(1<<uint(v)) != 0
+		switch l {
+		case cube.Pos:
+			if !bit {
+				return false
+			}
+		case cube.Neg:
+			if bit {
+				return false
+			}
+		case cube.Void:
+			return false
+		}
+	}
+	return true
+}
+
+// solveCover finds a minimum set of columns covering all rows by
+// branch and bound with essential-column and row-dominance style
+// pruning (choose the hardest row, branch over its columns).
+func solveCover(ncols int, rows [][]int) []int {
+	var best []int
+	bestSize := ncols + 1
+
+	var rec func(uncovered [][]int, chosen []int)
+	rec = func(uncovered [][]int, chosen []int) {
+		if len(chosen) >= bestSize {
+			return
+		}
+		if len(uncovered) == 0 {
+			best = append([]int(nil), chosen...)
+			bestSize = len(chosen)
+			return
+		}
+		// Lower bound: rows with disjoint column sets each need a
+		// separate prime; cheap version—just 1.
+		if len(chosen)+1 > bestSize {
+			return
+		}
+		// Pick the row with fewest covering columns.
+		minI := 0
+		for i := 1; i < len(uncovered); i++ {
+			if len(uncovered[i]) < len(uncovered[minI]) {
+				minI = i
+			}
+		}
+		row := uncovered[minI]
+		for _, col := range row {
+			var next [][]int
+			for _, r := range uncovered {
+				hit := false
+				for _, c := range r {
+					if c == col {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					next = append(next, r)
+				}
+			}
+			rec(next, append(chosen, col))
+		}
+	}
+	rec(rows, nil)
+	return best
+}

@@ -1,0 +1,168 @@
+package grader
+
+import (
+	"fmt"
+
+	"vlsicad/internal/route"
+)
+
+// RouterFunc is the interface a student router must satisfy to be run
+// against the unit-test battery: route one net on the given grid.
+type RouterFunc func(g *route.Grid, net route.Net) (route.Path, error)
+
+// BatteryCase is one unit test of the paper's Figure 6: a small grid,
+// one net, and the properties the route must exhibit.
+type BatteryCase struct {
+	Name    string
+	Points  int
+	Build   func() (*route.Grid, route.Net)
+	MaxCost int  // 0 = no bound; otherwise route cost must not exceed it
+	MinVias int  // required number of vias (0 = none required)
+	Expect  bool // true if the net must be routable
+}
+
+// RouterBattery returns the Figure 6 unit-test set: short wires in one
+// layer, short vertical and horizontal segments, wires with a few
+// bends, wires around obstacles, via usage, and an unroutable case
+// that must be detected.
+func RouterBattery() []BatteryCase {
+	cost := route.DefaultCost()
+	return []BatteryCase{
+		{
+			Name: "short wire, one layer", Points: 10, Expect: true, MaxCost: 3,
+			Build: func() (*route.Grid, route.Net) {
+				g := route.NewGrid(8, 8, cost)
+				return g, route.Net{Name: "w", A: route.Point{X: 1, Y: 1, L: 0}, B: route.Point{X: 4, Y: 1, L: 0}}
+			},
+		},
+		{
+			Name: "short horizontal segment", Points: 10, Expect: true, MaxCost: 1,
+			Build: func() (*route.Grid, route.Net) {
+				g := route.NewGrid(4, 4, cost)
+				return g, route.Net{Name: "h", A: route.Point{X: 0, Y: 0, L: 0}, B: route.Point{X: 1, Y: 0, L: 0}}
+			},
+		},
+		{
+			Name: "short vertical segment", Points: 10, Expect: true, MaxCost: 1,
+			Build: func() (*route.Grid, route.Net) {
+				g := route.NewGrid(4, 4, cost)
+				return g, route.Net{Name: "v", A: route.Point{X: 2, Y: 0, L: 1}, B: route.Point{X: 2, Y: 1, L: 1}}
+			},
+		},
+		{
+			Name: "wire with a few bends", Points: 10, Expect: true,
+			Build: func() (*route.Grid, route.Net) {
+				g := route.NewGrid(8, 8, cost)
+				// Staggered walls force an S shape (both layers).
+				for l := 0; l < route.Layers; l++ {
+					for x := 0; x < 6; x++ {
+						g.Block(route.Point{X: x, Y: 2, L: l})
+					}
+					for x := 2; x < 8; x++ {
+						g.Block(route.Point{X: x, Y: 5, L: l})
+					}
+				}
+				return g, route.Net{Name: "s", A: route.Point{X: 0, Y: 0, L: 0}, B: route.Point{X: 7, Y: 7, L: 0}}
+			},
+		},
+		{
+			Name: "wire around obstacle", Points: 10, Expect: true,
+			Build: func() (*route.Grid, route.Net) {
+				g := route.NewGrid(9, 9, cost)
+				for y := 1; y < 8; y++ {
+					g.Block(route.Point{X: 4, Y: y, L: 0})
+					g.Block(route.Point{X: 4, Y: y, L: 1})
+				}
+				return g, route.Net{Name: "o", A: route.Point{X: 1, Y: 4, L: 0}, B: route.Point{X: 7, Y: 4, L: 0}}
+			},
+		},
+		{
+			Name: "via required to cross", Points: 15, Expect: true, MinVias: 2,
+			Build: func() (*route.Grid, route.Net) {
+				g := route.NewGrid(9, 9, cost)
+				// Full vertical wall on layer 0 only: must hop layers.
+				for y := 0; y < 9; y++ {
+					g.Block(route.Point{X: 4, Y: y, L: 0})
+				}
+				// And layer 1 is blocked except the crossing row, to pin
+				// down where the hop happens.
+				for y := 0; y < 9; y++ {
+					if y != 4 {
+						for x := 3; x <= 5; x++ {
+							g.Block(route.Point{X: x, Y: y, L: 1})
+						}
+					}
+				}
+				return g, route.Net{Name: "x", A: route.Point{X: 1, Y: 4, L: 0}, B: route.Point{X: 7, Y: 4, L: 0}}
+			},
+		},
+		{
+			Name: "preferred-direction economy", Points: 10, Expect: true, MaxCost: 6,
+			Build: func() (*route.Grid, route.Net) {
+				// Long horizontal run on layer 0 must cost 6 (no
+				// non-preferred wandering).
+				g := route.NewGrid(10, 10, cost)
+				return g, route.Net{Name: "p", A: route.Point{X: 1, Y: 5, L: 0}, B: route.Point{X: 7, Y: 5, L: 0}}
+			},
+		},
+		{
+			Name: "unroutable detected", Points: 15, Expect: false,
+			Build: func() (*route.Grid, route.Net) {
+				g := route.NewGrid(7, 7, cost)
+				// Box in the target on both layers.
+				for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					for l := 0; l < route.Layers; l++ {
+						g.Block(route.Point{X: 3 + d[0], Y: 3 + d[1], L: l})
+					}
+				}
+				g.Block(route.Point{X: 3, Y: 3, L: 1})
+				return g, route.Net{Name: "u", A: route.Point{X: 0, Y: 0, L: 0}, B: route.Point{X: 3, Y: 3, L: 0}}
+			},
+		},
+	}
+}
+
+// RunRouterBattery grades a router implementation against the battery.
+func RunRouterBattery(r RouterFunc) *Report {
+	rep := &Report{Project: "Project 4: router unit tests (Figure 6 battery)"}
+	for _, c := range RouterBattery() {
+		g, net := c.Build()
+		path, err := r(g.Clone(), net)
+		if !c.Expect {
+			if err != nil {
+				rep.pass(c.Name, c.Points)
+			} else {
+				rep.fail(c.Name, c.Points, "router returned a path for an unroutable net")
+			}
+			continue
+		}
+		if err != nil {
+			rep.fail(c.Name, c.Points, fmt.Sprintf("router failed: %v", err))
+			continue
+		}
+		if err := route.Validate(g, net, path); err != nil {
+			rep.fail(c.Name, c.Points, err.Error())
+			continue
+		}
+		if c.MaxCost > 0 {
+			if got := route.PathCost(g, path); got > c.MaxCost {
+				rep.fail(c.Name, c.Points, fmt.Sprintf("cost %d exceeds bound %d", got, c.MaxCost))
+				continue
+			}
+		}
+		if c.MinVias > 0 && path.Vias() < c.MinVias {
+			rep.fail(c.Name, c.Points, fmt.Sprintf("expected >= %d vias, got %d", c.MinVias, path.Vias()))
+			continue
+		}
+		rep.pass(c.Name, c.Points)
+	}
+	return rep
+}
+
+// ReferenceRouter adapts the course's own maze router to the battery
+// interface (used to sanity-check the battery and as the reference
+// solution).
+func ReferenceRouter(g *route.Grid, net route.Net) (route.Path, error) {
+	path, _, _, err := route.RouteNet(g, net, route.AStar)
+	return path, err
+}

@@ -1,0 +1,263 @@
+package grader
+
+import (
+	"strings"
+	"testing"
+
+	"vlsicad/internal/cube"
+	"vlsicad/internal/netlist"
+	"vlsicad/internal/place"
+	"vlsicad/internal/repair"
+	"vlsicad/internal/route"
+)
+
+func TestReportArithmetic(t *testing.T) {
+	r := &Report{Project: "demo"}
+	r.pass("a", 10)
+	r.fail("b", 20, "broken")
+	r.add("c", 10, 5, "half")
+	if r.Total() != 40 || r.Earned() != 15 {
+		t.Errorf("total=%d earned=%d", r.Total(), r.Earned())
+	}
+	if r.Score() != 15.0/40.0 {
+		t.Errorf("score=%g", r.Score())
+	}
+	s := r.String()
+	if !strings.Contains(s, "PASS") || !strings.Contains(s, "FAIL") || !strings.Contains(s, "demo") {
+		t.Errorf("report:\n%s", s)
+	}
+}
+
+func TestGradeURPComplementPerfect(t *testing.T) {
+	on, _ := cube.ParseCover([]string{"11-", "0-1"})
+	comp := on.Complement()
+	var sub strings.Builder
+	for _, c := range comp.Cubes {
+		for _, l := range c {
+			switch l {
+			case cube.Pos:
+				sub.WriteByte('1')
+			case cube.Neg:
+				sub.WriteByte('0')
+			default:
+				sub.WriteByte('-')
+			}
+		}
+		sub.WriteByte('\n')
+	}
+	r := GradeURPComplement(on, sub.String())
+	if r.Score() != 1 {
+		t.Errorf("perfect submission scored %.2f:\n%s", r.Score(), r)
+	}
+}
+
+func TestGradeURPComplementWrong(t *testing.T) {
+	on, _ := cube.ParseCover([]string{"11"})
+	// Submitting the function itself: intersects on-set, misses off-set.
+	r := GradeURPComplement(on, "11\n")
+	if r.Score() >= 0.5 {
+		t.Errorf("wrong submission scored %.2f", r.Score())
+	}
+	// Garbage.
+	r2 := GradeURPComplement(on, "1x\n")
+	if r2.Earned() != 0 {
+		t.Errorf("garbage earned %d", r2.Earned())
+	}
+	// Empty submission parses as constant 0: disjoint but not covering.
+	r3 := GradeURPComplement(on, "")
+	if r3.Score() == 0 || r3.Score() == 1 {
+		t.Errorf("empty submission should earn partial credit, got %.2f", r3.Score())
+	}
+}
+
+func TestGradeURPTautology(t *testing.T) {
+	taut, _ := cube.ParseCover([]string{"1-", "0-"})
+	if r := GradeURPTautology(taut, "yes"); r.Score() != 1 {
+		t.Error("correct yes should score 1")
+	}
+	if r := GradeURPTautology(taut, "no"); r.Score() != 0 {
+		t.Error("wrong no should score 0")
+	}
+	if r := GradeURPTautology(taut, ""); r.Score() != 0 {
+		t.Error("empty should score 0")
+	}
+	non, _ := cube.ParseCover([]string{"11"})
+	if r := GradeURPTautology(non, "false"); r.Score() != 1 {
+		t.Error("correct false should score 1")
+	}
+}
+
+const repairSpec = `
+.model s
+.inputs a b c
+.outputs z
+.names a b t
+11 1
+.names t c z
+1- 1
+-1 1
+.end
+`
+
+func TestGradeRepair(t *testing.T) {
+	spec, err := netlist.ParseBLIF(strings.NewReader(repairSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl := spec.Clone()
+	if err := repair.InjectFault(impl, "t"); err != nil {
+		t.Fatal(err)
+	}
+	// Correct repair: t = ab again.
+	r := GradeRepair(spec, impl, "t", "11\n")
+	if r.Score() != 1 {
+		t.Errorf("correct repair scored %.2f:\n%s", r.Score(), r)
+	}
+	// Wrong repair.
+	r2 := GradeRepair(spec, impl, "t", "1-\n")
+	if r2.Score() > 0.2 {
+		t.Errorf("wrong repair scored %.2f", r2.Score())
+	}
+	// Garbage.
+	r3 := GradeRepair(spec, impl, "t", "abc")
+	if r3.Earned() != 0 {
+		t.Errorf("garbage earned %d", r3.Earned())
+	}
+	// Bad suspect.
+	r4 := GradeRepair(spec, impl, "zz", "11\n")
+	if r4.Earned() != 0 {
+		t.Error("bad suspect should earn 0")
+	}
+}
+
+func placementFixture() (*place.Problem, *place.Placement, float64) {
+	p := &place.Problem{
+		NCells: 4, W: 4, H: 4,
+		Pads: []place.Pad{{Name: "w", X: 0, Y: 2}, {Name: "e", X: 4, Y: 2}},
+		Nets: []place.Net{
+			{Cells: []int{0, 1}}, {Cells: []int{1, 2}}, {Cells: []int{2, 3}},
+			{Cells: []int{0}, Pads: []int{0}}, {Cells: []int{3}, Pads: []int{1}},
+		},
+	}
+	ref := place.NewPlacement(4)
+	for i := 0; i < 4; i++ {
+		ref.X[i] = float64(i) + 0.5
+		ref.Y[i] = 2.5
+	}
+	return p, ref, p.HPWL(ref)
+}
+
+func TestGradePlacement(t *testing.T) {
+	p, ref, refHPWL := placementFixture()
+	good := ""
+	for c := 0; c < 4; c++ {
+		good += strings.Join([]string{
+			itoa(c), ftoa(ref.X[c]), ftoa(ref.Y[c]),
+		}, " ") + "\n"
+	}
+	r := GradePlacement(p, good, refHPWL)
+	if r.Score() != 1 {
+		t.Errorf("reference placement scored %.2f:\n%s", r.Score(), r)
+	}
+	// Illegal: overlapping cells.
+	bad := "0 0.5 0.5\n1 0.5 0.5\n2 1.5 0.5\n3 2.5 0.5\n"
+	r2 := GradePlacement(p, bad, refHPWL)
+	for _, u := range r2.Units {
+		if u.Name == "legal placement" && u.Earned != 0 {
+			t.Error("overlap should fail legality")
+		}
+	}
+	// Incomplete.
+	r3 := GradePlacement(p, "0 0.5 0.5\n", refHPWL)
+	if r3.Earned() != 0 {
+		t.Error("incomplete placement should earn 0")
+	}
+}
+
+func TestGradeRoutingAndFormats(t *testing.T) {
+	g := route.NewGrid(8, 8, route.DefaultCost())
+	nets := []route.Net{
+		{Name: "a", A: route.Point{X: 0, Y: 1, L: 0}, B: route.Point{X: 5, Y: 1, L: 0}},
+		{Name: "b", A: route.Point{X: 0, Y: 3, L: 0}, B: route.Point{X: 5, Y: 3, L: 0}},
+	}
+	res := route.RouteAll(g.Clone(), nets, route.Opts{Alg: route.AStar})
+	if len(res.Failed) > 0 {
+		t.Fatal("fixture should route")
+	}
+	text := FormatRoutes(res.Paths)
+	r := GradeRouting(g, nets, text)
+	if r.Score() != 1 {
+		t.Errorf("reference routes scored %.2f:\n%s", r.Score(), r)
+	}
+	// Parse round trip.
+	back, err := ParseRoutesText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Error("round trip lost nets")
+	}
+	// Overlapping submission.
+	overlap := "net a\n0 1 0\n1 1 0\n2 1 0\n3 1 0\n4 1 0\n5 1 0\nend\n" +
+		"net b\n0 3 0\n1 3 0\n1 1 0\nend\n"
+	r2 := GradeRouting(g, nets, overlap)
+	if r2.Score() >= 1 {
+		t.Error("bad second net should lose points")
+	}
+	for _, bad := range []string{
+		"net a\nx y z\nend\n", "0 0 0\n", "net a\nnet b\nend\n",
+		"net a\n0 0 0\n", "end\n", "net a\nend\nnet a\nend\n",
+	} {
+		if _, err := ParseRoutesText(bad); err == nil {
+			t.Errorf("ParseRoutesText(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRouterBatteryReferencePasses(t *testing.T) {
+	rep := RunRouterBattery(ReferenceRouter)
+	if rep.Score() != 1 {
+		t.Errorf("reference router scored %.2f:\n%s", rep.Score(), rep)
+	}
+}
+
+func TestRouterBatteryCatchesBadRouters(t *testing.T) {
+	// A router that ignores obstacles: must fail validation units.
+	cheater := func(g *route.Grid, net route.Net) (route.Path, error) {
+		var p route.Path
+		x, y := net.A.X, net.A.Y
+		p = append(p, route.Point{X: x, Y: y, L: net.A.L})
+		for x != net.B.X {
+			if x < net.B.X {
+				x++
+			} else {
+				x--
+			}
+			p = append(p, route.Point{X: x, Y: y, L: net.A.L})
+		}
+		for y != net.B.Y {
+			if y < net.B.Y {
+				y++
+			} else {
+				y--
+			}
+			p = append(p, route.Point{X: x, Y: y, L: net.A.L})
+		}
+		if net.A.L != net.B.L {
+			p = append(p, route.Point{X: x, Y: y, L: net.B.L})
+		}
+		return p, nil
+	}
+	rep := RunRouterBattery(cheater)
+	if rep.Score() >= 0.8 {
+		t.Errorf("obstacle-ignoring router scored %.2f:\n%s", rep.Score(), rep)
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func ftoa(f float64) string {
+	// Fixture coordinates are *.5 values below 10.
+	whole := int(f)
+	return string(rune('0'+whole)) + ".5"
+}

@@ -1,0 +1,325 @@
+package grader
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vlsicad/internal/cube"
+	"vlsicad/internal/netlist"
+	"vlsicad/internal/place"
+	"vlsicad/internal/repair"
+	"vlsicad/internal/route"
+)
+
+// ---- Project 1: Boolean data structures & computation (URP/PCN) ----
+
+// GradeURPComplement grades a submitted complement of the given
+// cover. The submission lists one cube per line in 0/1/- notation.
+func GradeURPComplement(on *cube.Cover, submission string) *Report {
+	r := &Report{Project: "Project 1: URP complement"}
+	sub, err := parseCoverText(submission, on.N)
+	if err != nil {
+		r.fail("parses", 10, err.Error())
+		r.fail("covers off-set", 30, "no parse")
+		r.fail("disjoint from on-set", 30, "no parse")
+		r.fail("irredundant quality", 10, "no parse")
+		return r
+	}
+	r.pass("parses", 10)
+	want := on.Complement()
+	if sub.Covers(want) {
+		r.pass("covers off-set", 30)
+	} else {
+		r.fail("covers off-set", 30, "some off-set minterm is missing")
+	}
+	inter := on.And(sub)
+	if inter.IsEmpty() || len(inter.Minterms()) == 0 {
+		r.pass("disjoint from on-set", 30)
+	} else {
+		r.fail("disjoint from on-set", 30, "submission intersects the on-set")
+	}
+	if len(sub.Cubes) <= 2*len(want.Cubes)+2 {
+		r.pass("irredundant quality", 10)
+	} else {
+		r.add("irredundant quality", 10, 5,
+			fmt.Sprintf("submission uses %d cubes vs reference %d", len(sub.Cubes), len(want.Cubes)))
+	}
+	return r
+}
+
+// GradeURPTautology grades a submitted yes/no tautology verdict.
+func GradeURPTautology(f *cube.Cover, submission string) *Report {
+	r := &Report{Project: "Project 1: URP tautology"}
+	ans := strings.ToLower(strings.TrimSpace(submission))
+	want := f.IsTautology()
+	ok := (ans == "yes" || ans == "tautology" || ans == "1" || ans == "true") == want
+	if ans == "" {
+		r.fail("verdict", 20, "empty answer")
+	} else if ok {
+		r.pass("verdict", 20)
+	} else {
+		r.fail("verdict", 20, fmt.Sprintf("answered %q, function tautology=%v", ans, want))
+	}
+	return r
+}
+
+// ---- Project 2: BDD-based network repair ----
+
+// GradeRepair grades a submitted replacement cover for the suspect
+// node of the faulty implementation.
+func GradeRepair(spec, impl *netlist.Network, suspect, submission string) *Report {
+	r := &Report{Project: "Project 2: network repair"}
+	node, ok := impl.Nodes[suspect]
+	if !ok {
+		r.fail("fixture", 100, "no such suspect node")
+		return r
+	}
+	sub, err := parseCoverText(submission, len(node.Fanins))
+	if err != nil {
+		r.fail("parses", 10, err.Error())
+		r.fail("network repaired", 70, "no parse")
+		r.fail("repair quality", 20, "no parse")
+		return r
+	}
+	r.pass("parses", 10)
+	patched := impl.Clone()
+	patched.Nodes[suspect].Cover = sub
+	eq, witness, err := netlist.EquivalentSAT(patched, spec)
+	if err != nil {
+		r.fail("network repaired", 70, err.Error())
+		r.fail("repair quality", 20, "equivalence check failed")
+		return r
+	}
+	if eq {
+		r.pass("network repaired", 70)
+	} else {
+		r.fail("network repaired", 70, fmt.Sprintf("counterexample %v", witness))
+		r.fail("repair quality", 20, "not a repair")
+		return r
+	}
+	ref, err := repair.Repair(impl, spec, suspect)
+	if err == nil && ref.Repaired {
+		if sub.Literals() <= 2*ref.NewCover.Literals()+2 {
+			r.pass("repair quality", 20)
+		} else {
+			r.add("repair quality", 20, 10,
+				fmt.Sprintf("%d literals vs reference %d", sub.Literals(), ref.NewCover.Literals()))
+		}
+	} else {
+		r.pass("repair quality", 20)
+	}
+	return r
+}
+
+// ---- Project 3: quadratic placement ----
+
+// GradePlacement grades a submitted placement (lines "cell x y") of
+// the given problem against a reference produced by the course placer.
+func GradePlacement(p *place.Problem, submission string, refHPWL float64) *Report {
+	r := &Report{Project: "Project 3: placement"}
+	pl, err := parsePlacementText(submission, p.NCells)
+	if err != nil {
+		r.fail("parses & complete", 20, err.Error())
+		r.fail("legal placement", 30, "no parse")
+		r.fail("wirelength <= 1.2x reference", 30, "no parse")
+		r.fail("wirelength <= 2x reference", 20, "no parse")
+		return r
+	}
+	r.pass("parses & complete", 20)
+	if err := place.CheckLegal(p, pl); err != nil {
+		r.fail("legal placement", 30, err.Error())
+	} else {
+		r.pass("legal placement", 30)
+	}
+	hp := p.HPWL(pl)
+	if hp <= 1.2*refHPWL {
+		r.pass("wirelength <= 1.2x reference", 30)
+	} else {
+		r.fail("wirelength <= 1.2x reference", 30,
+			fmt.Sprintf("HPWL %.1f vs reference %.1f", hp, refHPWL))
+	}
+	if hp <= 2*refHPWL {
+		r.pass("wirelength <= 2x reference", 20)
+	} else {
+		r.fail("wirelength <= 2x reference", 20,
+			fmt.Sprintf("HPWL %.1f vs reference %.1f", hp, refHPWL))
+	}
+	return r
+}
+
+// ---- Project 4: maze routing ----
+
+// GradeRouting grades submitted routes (text format: "net <name>"
+// header, one "x y layer" line per point, "end" terminator) for the
+// given instance. Each net is a gradable unit; disjointness is one
+// more.
+func GradeRouting(g *route.Grid, nets []route.Net, submission string) *Report {
+	r := &Report{Project: "Project 4: maze routing"}
+	paths, err := ParseRoutesText(submission)
+	if err != nil {
+		r.fail("parses", 10, err.Error())
+		return r
+	}
+	r.pass("parses", 10)
+	perNet := 90 / (len(nets) + 1)
+	used := map[route.Point]string{}
+	overlap := ""
+	for _, net := range nets {
+		p, ok := paths[net.Name]
+		if !ok {
+			r.fail("net "+net.Name, perNet, "not routed")
+			continue
+		}
+		if err := route.Validate(g, net, p); err != nil {
+			r.fail("net "+net.Name, perNet, err.Error())
+			continue
+		}
+		r.pass("net "+net.Name, perNet)
+		for _, pt := range p {
+			if prev, clash := used[pt]; clash {
+				overlap = fmt.Sprintf("nets %s and %s share %v", prev, net.Name, pt)
+			}
+			used[pt] = net.Name
+		}
+	}
+	if overlap == "" {
+		r.pass("nets mutually disjoint", perNet)
+	} else {
+		r.fail("nets mutually disjoint", perNet, overlap)
+	}
+	return r
+}
+
+// ---- submission text parsers ----
+
+func parseCoverText(text string, width int) (*cube.Cover, error) {
+	var rows []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) != width {
+			return nil, fmt.Errorf("cube %q has width %d, want %d", line, len(line), width)
+		}
+		rows = append(rows, line)
+	}
+	if len(rows) == 0 {
+		return cube.NewCover(width), nil
+	}
+	return cube.ParseCover(rows)
+}
+
+func parsePlacementText(text string, nCells int) (*place.Placement, error) {
+	pl := place.NewPlacement(nCells)
+	seen := make([]bool, nCells)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad placement line %q", line)
+		}
+		c, err := strconv.Atoi(fields[0])
+		if err != nil || c < 0 || c >= nCells {
+			return nil, fmt.Errorf("bad cell id %q", fields[0])
+		}
+		x, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad x %q", fields[1])
+		}
+		y, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad y %q", fields[2])
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("cell %d placed twice", c)
+		}
+		seen[c] = true
+		pl.X[c], pl.Y[c] = x, y
+	}
+	for c, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("cell %d not placed", c)
+		}
+	}
+	return pl, nil
+}
+
+// ParseRoutesText parses the Project 4 submission format.
+func ParseRoutesText(text string) (map[string]route.Path, error) {
+	out := map[string]route.Path{}
+	var cur string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "net":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("bad net header %q", line)
+			}
+			if cur != "" {
+				return nil, fmt.Errorf("net %q not terminated before %q", cur, line)
+			}
+			cur = fields[1]
+			if _, dup := out[cur]; dup {
+				return nil, fmt.Errorf("net %q routed twice", cur)
+			}
+			out[cur] = nil
+		case fields[0] == "end":
+			if cur == "" {
+				return nil, fmt.Errorf("stray end")
+			}
+			cur = ""
+		default:
+			if cur == "" {
+				return nil, fmt.Errorf("point outside net block: %q", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("bad point %q", line)
+			}
+			x, err1 := strconv.Atoi(fields[0])
+			y, err2 := strconv.Atoi(fields[1])
+			l, err3 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("bad point %q", line)
+			}
+			out[cur] = append(out[cur], route.Point{X: x, Y: y, L: l})
+		}
+	}
+	if cur != "" {
+		return nil, fmt.Errorf("net %q not terminated", cur)
+	}
+	return out, nil
+}
+
+// FormatRoutes renders paths in the submission format (the reference
+// router uses it to produce gradeable output).
+func FormatRoutes(paths map[string]route.Path) string {
+	var names []string
+	for name := range paths {
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "net %s\n", name)
+		for _, pt := range paths[name] {
+			fmt.Fprintf(&b, "%d %d %d\n", pt.X, pt.Y, pt.L)
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}

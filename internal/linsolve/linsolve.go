@@ -1,0 +1,251 @@
+// Package linsolve provides the sparse and dense linear-system solvers
+// behind the course's "Ax=b" tool portal and the quadratic placer:
+// conjugate gradients, Jacobi and Gauss–Seidel iterations for sparse
+// symmetric-positive-definite systems, and Gaussian elimination with
+// partial pivoting for small dense systems.
+package linsolve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is a square sparse matrix in per-row coordinate form.
+// Duplicate Add calls to the same (i, j) accumulate.
+type Sparse struct {
+	N    int
+	rows []map[int]float64
+}
+
+// NewSparse returns an n×n zero matrix.
+func NewSparse(n int) *Sparse {
+	rows := make([]map[int]float64, n)
+	for i := range rows {
+		rows[i] = map[int]float64{}
+	}
+	return &Sparse{N: n, rows: rows}
+}
+
+// Add accumulates v into entry (i, j).
+func (a *Sparse) Add(i, j int, v float64) {
+	a.rows[i][j] += v
+}
+
+// At returns entry (i, j).
+func (a *Sparse) At(i, j int) float64 { return a.rows[i][j] }
+
+// NNZ returns the number of stored nonzeros.
+func (a *Sparse) NNZ() int {
+	n := 0
+	for _, r := range a.rows {
+		n += len(r)
+	}
+	return n
+}
+
+// MatVec computes y = A·x.
+func (a *Sparse) MatVec(x []float64) []float64 {
+	y := make([]float64, a.N)
+	for i, row := range a.rows {
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Result reports iterative-solver convergence.
+type Result struct {
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// CG solves A·x = b for symmetric positive-definite A by conjugate
+// gradients, starting from x = 0.
+func CG(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
+	n := a.N
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b)
+	p := make([]float64, n)
+	copy(p, b)
+	rs := dot(r, r)
+	bn := norm(b)
+	if bn == 0 {
+		return x, Result{Converged: true}
+	}
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if math.Sqrt(rs)/bn < tol {
+			res.Converged = true
+			break
+		}
+		ap := a.MatVec(p)
+		alpha := rs / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	res.Residual = math.Sqrt(rs) / bn
+	if res.Residual < tol {
+		res.Converged = true
+	}
+	return x, res
+}
+
+// Jacobi solves A·x = b by Jacobi iteration (diagonally dominant A).
+func Jacobi(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
+	n := a.N
+	x := make([]float64, n)
+	next := make([]float64, n)
+	bn := norm(b)
+	if bn == 0 {
+		return x, Result{Converged: true}
+	}
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		for i, row := range a.rows {
+			s := b[i]
+			d := 0.0
+			for j, v := range row {
+				if j == i {
+					d = v
+					continue
+				}
+				s -= v * x[j]
+			}
+			next[i] = s / d
+		}
+		x, next = next, x
+		r := a.MatVec(x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		res.Residual = norm(r) / bn
+		if res.Residual < tol {
+			res.Converged = true
+			return x, res
+		}
+	}
+	return x, res
+}
+
+// GaussSeidel solves A·x = b by Gauss–Seidel iteration.
+func GaussSeidel(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
+	n := a.N
+	x := make([]float64, n)
+	bn := norm(b)
+	if bn == 0 {
+		return x, Result{Converged: true}
+	}
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		for i, row := range a.rows {
+			s := b[i]
+			d := 0.0
+			for j, v := range row {
+				if j == i {
+					d = v
+					continue
+				}
+				s -= v * x[j]
+			}
+			x[i] = s / d
+		}
+		r := a.MatVec(x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		res.Residual = norm(r) / bn
+		if res.Residual < tol {
+			res.Converged = true
+			return x, res
+		}
+	}
+	return x, res
+}
+
+// SolveDense solves a dense system by Gaussian elimination with
+// partial pivoting. The matrix is given row-major and is modified.
+func SolveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: b has %d entries, want %d", len(b), n)
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linsolve: row %d has %d entries, want %d", i, len(a[i]), n)
+		}
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("linsolve: singular matrix at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= a[col][c] * x[c]
+		}
+		x[col] = s / a[col][col]
+	}
+	return x, nil
+}
+
+// Entries returns the sorted (i, j, v) triplets — used by the axb
+// portal's echo output.
+func (a *Sparse) Entries() [][3]float64 {
+	var out [][3]float64
+	for i, row := range a.rows {
+		var cols []int
+		for j := range row {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		for _, j := range cols {
+			out = append(out, [3]float64{float64(i), float64(j), row[j]})
+		}
+	}
+	return out
+}

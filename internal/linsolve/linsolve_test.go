@@ -1,0 +1,196 @@
+package linsolve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// laplacian1D builds the classic SPD tridiagonal system the course's
+// quadratic-placement homeworks use.
+func laplacian1D(n int) (*Sparse, []float64) {
+	a := NewSparse(n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 2)
+		if i > 0 {
+			a.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			a.Add(i, i+1, -1)
+		}
+	}
+	b[0] = 1 // boundary pulls
+	b[n-1] = 2
+	return a, b
+}
+
+func residual(a *Sparse, x, b []float64) float64 {
+	r := a.MatVec(x)
+	worst := 0.0
+	for i := range r {
+		if d := math.Abs(r[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	a, b := laplacian1D(50)
+	x, res := CG(a, b, 1e-10, 1000)
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	if r := residual(a, x, b); r > 1e-6 {
+		t.Errorf("residual = %g", r)
+	}
+}
+
+func TestJacobiAndGaussSeidel(t *testing.T) {
+	a, b := laplacian1D(20)
+	xj, rj := Jacobi(a, b, 1e-8, 20000)
+	if !rj.Converged {
+		t.Fatalf("Jacobi did not converge: %+v", rj)
+	}
+	if r := residual(a, xj, b); r > 1e-5 {
+		t.Errorf("Jacobi residual = %g", r)
+	}
+	xg, rg := GaussSeidel(a, b, 1e-8, 20000)
+	if !rg.Converged {
+		t.Fatalf("Gauss-Seidel did not converge: %+v", rg)
+	}
+	if r := residual(a, xg, b); r > 1e-5 {
+		t.Errorf("GS residual = %g", r)
+	}
+	if rg.Iterations >= rj.Iterations {
+		t.Errorf("Gauss-Seidel (%d iters) should beat Jacobi (%d)", rg.Iterations, rj.Iterations)
+	}
+}
+
+func TestSolversAgree(t *testing.T) {
+	a, b := laplacian1D(15)
+	xc, _ := CG(a, b, 1e-12, 1000)
+	xg, _ := GaussSeidel(a, b, 1e-12, 100000)
+	for i := range xc {
+		if math.Abs(xc[i]-xg[i]) > 1e-5 {
+			t.Fatalf("CG and GS disagree at %d: %g vs %g", i, xc[i], xg[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a, _ := laplacian1D(5)
+	x, res := CG(a, make([]float64, 5), 1e-10, 100)
+	if !res.Converged {
+		t.Error("zero rhs should converge immediately")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Error("solution should be zero")
+		}
+	}
+}
+
+func TestSolveDense(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{3, 5}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=3, x+3y=5 → x=4/5, y=7/5.
+	if math.Abs(x[0]-0.8) > 1e-12 || math.Abs(x[1]-1.4) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveDensePivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveDenseErrors(t *testing.T) {
+	if _, err := SolveDense([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("singular matrix should fail")
+	}
+	if _, err := SolveDense([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := SolveDense([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square should fail")
+	}
+}
+
+func TestDenseVsCGRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 20; iter++ {
+		n := 2 + rng.Intn(8)
+		// A = M^T M + I is SPD.
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64()
+			}
+		}
+		dense := make([][]float64, n)
+		sp := NewSparse(n)
+		for i := 0; i < n; i++ {
+			dense[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += m[k][i] * m[k][j]
+				}
+				if i == j {
+					s += 1
+				}
+				dense[i][j] = s
+				sp.Add(i, j, s)
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xc, res := CG(sp, b, 1e-12, 10000)
+		if !res.Converged {
+			t.Fatalf("iter %d: CG failed", iter)
+		}
+		xd, err := SolveDense(dense, b)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-xd[i]) > 1e-6 {
+				t.Fatalf("iter %d: CG and dense disagree at %d: %g vs %g", iter, i, xc[i], xd[i])
+			}
+		}
+	}
+}
+
+func TestSparseEntriesAndNNZ(t *testing.T) {
+	a := NewSparse(2)
+	a.Add(0, 1, 2)
+	a.Add(0, 1, 3) // accumulates
+	a.Add(1, 0, 1)
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ = %d", a.NNZ())
+	}
+	if a.At(0, 1) != 5 {
+		t.Errorf("At(0,1) = %v", a.At(0, 1))
+	}
+	ents := a.Entries()
+	if len(ents) != 2 || ents[0] != [3]float64{0, 1, 5} {
+		t.Errorf("Entries = %v", ents)
+	}
+}

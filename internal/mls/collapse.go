@@ -1,0 +1,50 @@
+package mls
+
+import (
+	"fmt"
+	"sort"
+
+	"vlsicad/internal/bdd"
+	"vlsicad/internal/espresso"
+	"vlsicad/internal/netlist"
+)
+
+// Collapse flattens the multi-level network into a two-level PLA over
+// the primary inputs — the SIS collapse command. Each output's global
+// function is built with BDDs and extracted as a (minimized) cover, so
+// collapse + espresso is the classic "restart two-level" move the
+// course teaches when multi-level structure has gone stale.
+func Collapse(nw *netlist.Network, minimize bool) (*espresso.PLA, error) {
+	m, outs, _, err := nw.BuildBDDs()
+	if err != nil {
+		return nil, err
+	}
+	ni := len(nw.Inputs)
+	pla := &espresso.PLA{
+		NI:       ni,
+		NO:       len(nw.Outputs),
+		InNames:  append([]string(nil), nw.Inputs...),
+		OutNames: append([]string(nil), nw.Outputs...),
+	}
+	outNames := append([]string(nil), nw.Outputs...)
+	sort.Strings(outNames)
+	for o, name := range nw.Outputs {
+		f, ok := outs[name]
+		if !ok {
+			return nil, fmt.Errorf("mls: output %q missing", name)
+		}
+		cov := bdd.ToCover(m, f, ni)
+		if minimize {
+			cov, _ = espresso.Minimize(cov, nil)
+		}
+		for _, c := range cov.Cubes {
+			plane := make([]byte, pla.NO)
+			for i := range plane {
+				plane[i] = '0'
+			}
+			plane[o] = '1'
+			pla.Rows = append(pla.Rows, espresso.Row{In: c.Clone(), Out: plane})
+		}
+	}
+	return pla, nil
+}

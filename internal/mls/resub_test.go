@@ -1,0 +1,151 @@
+package mls
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResubstituteReusesExistingNode(t *testing.T) {
+	// g = a + b exists; f = ac + bc can be rewritten as f = g c.
+	src := `
+.model r
+.inputs a b c
+.outputs f g
+.names a b g
+1- 1
+-1 1
+.names a b c f
+1-1 1
+-11 1
+.end
+`
+	nw := parse(t, src)
+	orig := nw.Clone()
+	n := Resubstitute(nw)
+	if n == 0 {
+		t.Fatal("expected a resubstitution")
+	}
+	checkEquiv(t, orig, nw, "resub")
+	f := nw.Nodes["f"]
+	usesG := false
+	for _, fin := range f.Fanins {
+		if fin == "g" {
+			usesG = true
+		}
+	}
+	if !usesG {
+		t.Errorf("f should now read g; fanins = %v", f.Fanins)
+	}
+	if f.Cover.Literals() >= 4 {
+		t.Errorf("f should have shrunk, has %d literals", f.Cover.Literals())
+	}
+}
+
+func TestResubstituteAvoidsCycles(t *testing.T) {
+	// h reads f; resubstituting f's cover with h would create a cycle
+	// and must be refused.
+	src := `
+.model c
+.inputs a b
+.outputs h
+.names a b f
+1- 1
+-1 1
+.names f a h
+11 1
+.end
+`
+	nw := parse(t, src)
+	orig := nw.Clone()
+	Resubstitute(nw)
+	checkEquiv(t, orig, nw, "resub cycle check")
+	if err := nw.Check(); err != nil {
+		t.Fatalf("network broken: %v", err)
+	}
+}
+
+func TestCollapseToPLA(t *testing.T) {
+	src := `
+.model add
+.inputs a b cin
+.outputs sum cout
+.names a b t
+10 1
+01 1
+.names t cin sum
+10 1
+01 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+	nw := parse(t, src)
+	pla, err := Collapse(nw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pla.NI != 3 || pla.NO != 2 {
+		t.Fatalf("PLA shape %dx%d", pla.NI, pla.NO)
+	}
+	// Each output's PLA function must match the network exhaustively.
+	for o, name := range pla.OutNames {
+		on := pla.OnSet(o)
+		for x := 0; x < 8; x++ {
+			in := map[string]bool{"a": x&1 != 0, "b": x&2 != 0, "cin": x&4 != 0}
+			val, err := nw.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assign := []bool{in["a"], in["b"], in["cin"]}
+			if on.Eval(assign) != val[name] {
+				t.Fatalf("output %s differs at %03b", name, x)
+			}
+		}
+	}
+	// Minimized collapse of cout is the 3-cube majority.
+	coutIdx := 1
+	if pla.OutNames[0] == "cout" {
+		coutIdx = 0
+	}
+	if got := len(pla.OnSet(coutIdx).Cubes); got != 3 {
+		t.Errorf("cout collapsed to %d cubes, want 3", got)
+	}
+}
+
+func TestCollapseScriptCommand(t *testing.T) {
+	nw := parse(t, twoOutBLIF)
+	var out strings.Builder
+	s := NewSession(nw, &out)
+	if err := s.Run("collapse"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ".i 5") || !strings.Contains(out.String(), "product terms") {
+		t.Errorf("collapse transcript:\n%s", out.String())
+	}
+}
+
+func TestResubScriptCommand(t *testing.T) {
+	src := `
+.model r
+.inputs a b c
+.outputs f g
+.names a b g
+1- 1
+-1 1
+.names a b c f
+1-1 1
+-11 1
+.end
+`
+	nw := parse(t, src)
+	var out strings.Builder
+	s := NewSession(nw, &out)
+	if err := s.Run("resub"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resub:") {
+		t.Errorf("transcript: %s", out.String())
+	}
+}

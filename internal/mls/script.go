@@ -1,0 +1,153 @@
+package mls
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vlsicad/internal/espresso"
+	"vlsicad/internal/netlist"
+)
+
+// Script runner: the SIS-style command shell the course's tool portal
+// exposed. Commands operate on one current network and write a
+// transcript to the given writer.
+
+// Session holds the state of one scripting session.
+type Session struct {
+	Net *netlist.Network
+	Out io.Writer
+}
+
+// NewSession wraps a network in a scripting session.
+func NewSession(nw *netlist.Network, out io.Writer) *Session {
+	return &Session{Net: nw, Out: out}
+}
+
+// Run executes one command line and returns an error for unknown
+// commands or bad arguments. Supported commands:
+//
+//	print_stats            node/literal statistics
+//	sweep                  remove dangling nodes and propagate constants
+//	simplify               espresso each node
+//	full_simplify [k]      espresso with fanin don't-cares (fanin cap k, default 8)
+//	eliminate <threshold>  collapse low-value nodes
+//	fx [iters]             greedy kernel extraction (default 10 rounds)
+//	resub                  algebraic resubstitution of existing nodes
+//	collapse               flatten to a two-level PLA over the inputs
+//	decomp                 decompose into two-input nodes via factoring
+//	factor                 print each node in factored form
+//	print                  print each node's SOP
+func (s *Session) Run(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	switch fields[0] {
+	case "print_stats":
+		st := NetworkStats(s.Net)
+		fmt.Fprintf(s.Out, "%s: nodes=%d sop_lits=%d fact_lits=%d\n",
+			s.Net.Name, st.Nodes, st.SOPLits, st.FactoredLits)
+	case "sweep":
+		n := SweepConstants(s.Net)
+		fmt.Fprintf(s.Out, "sweep: removed %d nodes\n", n)
+	case "simplify":
+		saved := Simplify(s.Net)
+		fmt.Fprintf(s.Out, "simplify: saved %d literals\n", saved)
+	case "full_simplify":
+		cap := 8
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("mls: bad fanin cap %q", fields[1])
+			}
+			cap = v
+		}
+		saved, err := FullSimplify(s.Net, cap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.Out, "full_simplify: saved %d literals\n", saved)
+	case "eliminate":
+		if len(fields) < 2 {
+			return fmt.Errorf("mls: eliminate needs a threshold")
+		}
+		th, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("mls: bad threshold %q", fields[1])
+		}
+		n := Eliminate(s.Net, th)
+		fmt.Fprintf(s.Out, "eliminate %d: removed %d nodes\n", th, n)
+	case "fx":
+		iters := 10
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("mls: bad iteration count %q", fields[1])
+			}
+			iters = v
+		}
+		n := ExtractKernels(s.Net, "fx_", iters)
+		fmt.Fprintf(s.Out, "fx: extracted %d divisors\n", n)
+	case "collapse":
+		pla, err := Collapse(s.Net, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.Out, "collapse: %d inputs, %d outputs, %d product terms\n",
+			pla.NI, pla.NO, len(pla.Rows))
+		if err := espresso.WritePLA(s.Out, pla); err != nil {
+			return err
+		}
+	case "resub":
+		n := Resubstitute(s.Net)
+		fmt.Fprintf(s.Out, "resub: rewrote %d nodes\n", n)
+	case "decomp":
+		n := Decompose(s.Net)
+		fmt.Fprintf(s.Out, "decomp: added %d nodes\n", n)
+	case "factor":
+		st := newSymtab(s.Net)
+		order, err := s.Net.TopoSort()
+		if err != nil {
+			return err
+		}
+		nameOf := func(l ALit) string {
+			n := st.names[l.AVar()]
+			if l.Neg() {
+				return n + "'"
+			}
+			return n
+		}
+		for _, n := range order {
+			ac := st.nodeACover(n)
+			if len(ac) == 0 {
+				fmt.Fprintf(s.Out, "%s = 0\n", n.Name)
+				continue
+			}
+			fmt.Fprintf(s.Out, "%s = %s\n", n.Name, Factor(ac).Render(nameOf))
+		}
+	case "print":
+		order, err := s.Net.TopoSort()
+		if err != nil {
+			return err
+		}
+		for _, n := range order {
+			fmt.Fprintf(s.Out, "%s (fanins %s):\n%s\n", n.Name,
+				strings.Join(n.Fanins, " "), n.Cover)
+		}
+	default:
+		return fmt.Errorf("mls: unknown command %q", fields[0])
+	}
+	return nil
+}
+
+// RunScript executes a whole script, one command per line.
+func (s *Session) RunScript(script string) error {
+	for _, line := range strings.Split(script, "\n") {
+		if err := s.Run(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

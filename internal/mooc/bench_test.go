@@ -1,0 +1,36 @@
+package mooc
+
+import "testing"
+
+// Sensitivity: the funnel under perturbed stage-conversion rates
+// (DESIGN.md §4 ablation).
+
+func BenchmarkSimulatePaperParams(b *testing.B) {
+	var f Funnel
+	for i := 0; i < b.N; i++ {
+		f = Simulate(PaperParams(), int64(i)).Funnel()
+	}
+	b.ReportMetric(float64(f.WatchedVideo), "watched")
+}
+
+func BenchmarkSimulateHalfShowUp(b *testing.B) {
+	p := PaperParams()
+	p.PShowUp /= 2
+	var f Funnel
+	for i := 0; i < b.N; i++ {
+		f = Simulate(p, int64(i)).Funnel()
+	}
+	b.ReportMetric(float64(f.WatchedVideo), "watched")
+	b.ReportMetric(float64(f.Certificates), "certs")
+}
+
+func BenchmarkSimulateDoubleHomeworkRate(b *testing.B) {
+	p := PaperParams()
+	p.PHomework *= 2
+	var f Funnel
+	for i := 0; i < b.N; i++ {
+		f = Simulate(p, int64(i)).Funnel()
+	}
+	b.ReportMetric(float64(f.DidHomework), "homework")
+	b.ReportMetric(float64(f.Certificates), "certs")
+}

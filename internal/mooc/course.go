@@ -1,0 +1,145 @@
+package mooc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Course policy: the MOOC offered two paths to completion (Section
+// 2.2) — an Accomplishment path requiring the weekly homeworks and the
+// final exam, and a Mastery path additionally requiring the four
+// software projects. This file models the gradebook and certificate
+// decision.
+
+// Policy holds the course's grading thresholds.
+type Policy struct {
+	Homeworks    int     // number of weekly homeworks (paper: 8)
+	Projects     int     // number of software projects (paper: 4)
+	PassFraction float64 // minimum average score to pass a component
+	FinalWeight  float64 // weight of the final vs homework average
+	HomeworkDrop int     // lowest-N homework scores dropped
+}
+
+// DefaultPolicy returns the course's structure: 8 homeworks, 4
+// projects, a 60% bar, final weighted equally with homework, one
+// dropped homework.
+func DefaultPolicy() Policy {
+	return Policy{
+		Homeworks:    8,
+		Projects:     4,
+		PassFraction: 0.6,
+		FinalWeight:  0.5,
+		HomeworkDrop: 1,
+	}
+}
+
+// Transcript is one participant's gradebook (scores in [0,1]; a
+// negative score means not attempted).
+type Transcript struct {
+	Homework []float64
+	Projects []float64
+	Final    float64 // negative = not taken
+}
+
+// NewTranscript returns an empty gradebook for the policy.
+func NewTranscript(p Policy) *Transcript {
+	t := &Transcript{
+		Homework: make([]float64, p.Homeworks),
+		Projects: make([]float64, p.Projects),
+		Final:    -1,
+	}
+	for i := range t.Homework {
+		t.Homework[i] = -1
+	}
+	for i := range t.Projects {
+		t.Projects[i] = -1
+	}
+	return t
+}
+
+// homeworkAverage drops the lowest N attempted-or-not scores (missing
+// counts as zero before the drop, as the course did).
+func (t *Transcript) homeworkAverage(p Policy) float64 {
+	scores := make([]float64, len(t.Homework))
+	for i, s := range t.Homework {
+		if s > 0 {
+			scores[i] = s
+		}
+	}
+	sort.Float64s(scores)
+	drop := p.HomeworkDrop
+	if drop > len(scores)-1 {
+		drop = len(scores) - 1
+	}
+	if drop < 0 {
+		drop = 0
+	}
+	kept := scores[drop:]
+	sum := 0.0
+	for _, s := range kept {
+		sum += s
+	}
+	if len(kept) == 0 {
+		return 0
+	}
+	return sum / float64(len(kept))
+}
+
+func (t *Transcript) projectAverage() float64 {
+	sum := 0.0
+	for _, s := range t.Projects {
+		if s > 0 {
+			sum += s
+		}
+	}
+	if len(t.Projects) == 0 {
+		return 0
+	}
+	return sum / float64(len(t.Projects))
+}
+
+// CourseGrade combines homework and final per the policy weights.
+func (t *Transcript) CourseGrade(p Policy) float64 {
+	final := t.Final
+	if final < 0 {
+		final = 0
+	}
+	return (1-p.FinalWeight)*t.homeworkAverage(p) + p.FinalWeight*final
+}
+
+// Certificate decides the completion outcome: "", "Accomplishment" or
+// "Mastery".
+func (t *Transcript) Certificate(p Policy) string {
+	if t.Final < 0 {
+		return "" // the final is mandatory on both paths
+	}
+	if t.CourseGrade(p) < p.PassFraction {
+		return ""
+	}
+	if t.projectAverage() >= p.PassFraction {
+		return "Mastery"
+	}
+	return "Accomplishment"
+}
+
+// String renders the gradebook like the course's progress page.
+func (t *Transcript) String() string {
+	p := DefaultPolicy()
+	return fmt.Sprintf("homework avg %.0f%%, projects avg %.0f%%, final %.0f%% -> grade %.0f%% (%s)",
+		100*t.homeworkAverage(p), 100*t.projectAverage(), 100*maxf(t.Final, 0),
+		100*t.CourseGrade(p), orNone(t.Certificate(p)))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "no certificate"
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package mooc
+
+import (
+	"strings"
+	"testing"
+)
+
+func fullTranscript(hw, proj, final float64) *Transcript {
+	p := DefaultPolicy()
+	t := NewTranscript(p)
+	for i := range t.Homework {
+		t.Homework[i] = hw
+	}
+	for i := range t.Projects {
+		t.Projects[i] = proj
+	}
+	t.Final = final
+	return t
+}
+
+func TestCertificatePaths(t *testing.T) {
+	p := DefaultPolicy()
+	// Strong everywhere: Mastery.
+	if c := fullTranscript(0.9, 0.9, 0.9).Certificate(p); c != "Mastery" {
+		t.Errorf("certificate = %q, want Mastery", c)
+	}
+	// Strong homework+final, no projects: Accomplishment.
+	tr := fullTranscript(0.9, -1, 0.9)
+	for i := range tr.Projects {
+		tr.Projects[i] = -1
+	}
+	if c := tr.Certificate(p); c != "Accomplishment" {
+		t.Errorf("certificate = %q, want Accomplishment", c)
+	}
+	// No final: nothing, regardless of homework.
+	tr2 := fullTranscript(1, 1, -1)
+	tr2.Final = -1
+	if c := tr2.Certificate(p); c != "" {
+		t.Errorf("certificate = %q, want none (no final)", c)
+	}
+	// Failing grade: nothing.
+	if c := fullTranscript(0.2, 0.9, 0.2).Certificate(p); c != "" {
+		t.Errorf("certificate = %q, want none (failed)", c)
+	}
+}
+
+func TestHomeworkDropHelps(t *testing.T) {
+	p := DefaultPolicy()
+	tr := NewTranscript(p)
+	for i := range tr.Homework {
+		tr.Homework[i] = 1
+	}
+	tr.Homework[0] = 0 // one missed homework
+	tr.Final = 1
+	if g := tr.CourseGrade(p); g < 0.99 {
+		t.Errorf("grade with one dropped zero = %g, want ~1", g)
+	}
+	// Two zeros: only one dropped.
+	tr.Homework[1] = 0
+	if g := tr.CourseGrade(p); g >= 0.99 {
+		t.Errorf("two zeros should hurt: %g", g)
+	}
+}
+
+func TestCourseGradeWeights(t *testing.T) {
+	p := DefaultPolicy()
+	tr := fullTranscript(1, -1, 0)
+	tr.Final = 0
+	// Homework 1.0, final 0: grade = 0.5.
+	if g := tr.CourseGrade(p); g != 0.5 {
+		t.Errorf("grade = %g, want 0.5", g)
+	}
+}
+
+func TestTranscriptString(t *testing.T) {
+	s := fullTranscript(0.8, 0.8, 0.8).String()
+	if !strings.Contains(s, "Mastery") {
+		t.Errorf("String() = %q", s)
+	}
+	s2 := NewTranscript(DefaultPolicy()).String()
+	if !strings.Contains(s2, "no certificate") {
+		t.Errorf("String() = %q", s2)
+	}
+}
+
+func TestWeek2HomeworkSelfGrades(t *testing.T) {
+	for _, user := range []string{"x", "y", "zara"} {
+		a := GenerateWeek2Homework(user, 6)
+		if len(a.Questions) != 6 {
+			t.Fatal("question count")
+		}
+		answers := make([]string, len(a.Questions))
+		for i, q := range a.Questions {
+			answers[i] = q.Answer
+			if q.Prompt == "" {
+				t.Error("empty prompt")
+			}
+		}
+		if got := GradeAssignment(a, answers); got != 6 {
+			t.Errorf("user %s: reference answers scored %d/6", user, got)
+		}
+		for i := range answers {
+			answers[i] = "wrong!"
+		}
+		if got := GradeAssignment(a, answers); got != 0 {
+			t.Errorf("user %s: garbage scored %d", user, got)
+		}
+	}
+}
+
+func TestLayoutHomeworkSelfGrades(t *testing.T) {
+	for _, user := range []string{"kim", "lee"} {
+		for _, week := range []int{6, 7} {
+			a := GenerateLayoutHomework(week, user, 4)
+			if len(a.Questions) != 4 {
+				t.Fatal("question count")
+			}
+			answers := make([]string, len(a.Questions))
+			for i, q := range a.Questions {
+				answers[i] = q.Answer
+			}
+			if got := GradeAssignment(a, answers); got != 4 {
+				t.Errorf("%s week %d: reference answers scored %d/4", user, week, got)
+			}
+			for i := range answers {
+				answers[i] = "nope"
+			}
+			if got := GradeAssignment(a, answers); got != 0 {
+				t.Errorf("%s week %d: garbage scored %d", user, week, got)
+			}
+		}
+	}
+}
+
+func TestFinalExamCoversAllWeeks(t *testing.T) {
+	a := GenerateFinalExam("dana", 10)
+	if len(a.Questions) != 10 {
+		t.Fatal("question count")
+	}
+	answers := make([]string, len(a.Questions))
+	for i, q := range a.Questions {
+		answers[i] = q.Answer
+		if q.Week != 10 {
+			t.Errorf("question %d tagged week %d", i, q.Week)
+		}
+	}
+	if got := GradeAssignment(a, answers); got != 10 {
+		t.Errorf("reference answers scored %d/10", got)
+	}
+	// The exam must span topic families: look for distinctive prompt
+	// fragments from logic, BDD, SAT, placement and routing questions.
+	joined := ""
+	for _, q := range a.Questions {
+		joined += q.Prompt + "\n"
+	}
+	for _, frag := range []string{"tautology", "ROBDD", "CNF", "quadratic optimum", "two-layer grid"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("final exam missing a %q question", frag)
+		}
+	}
+}
+
+func TestLayoutHomeworkIndividualized(t *testing.T) {
+	a := GenerateLayoutHomework(6, "kim", 4)
+	b := GenerateLayoutHomework(6, "lee", 4)
+	diff := false
+	for i := range a.Questions {
+		if a.Questions[i].Prompt != b.Questions[i].Prompt {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different users should get different layout variants")
+	}
+}
+
+func TestWeek2HomeworkIndividualized(t *testing.T) {
+	a := GenerateWeek2Homework("alice", 4)
+	b := GenerateWeek2Homework("bob", 4)
+	diff := false
+	for i := range a.Questions {
+		if a.Questions[i].Prompt != b.Questions[i].Prompt {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different users should get different variants")
+	}
+	a2 := GenerateWeek2Homework("alice", 4)
+	for i := range a.Questions {
+		if a.Questions[i].Prompt != a2.Questions[i].Prompt {
+			t.Fatal("same user should get a stable assignment")
+		}
+	}
+}

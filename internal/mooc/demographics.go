@@ -1,0 +1,126 @@
+package mooc
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Country participation (Figure 10): the paper reports worldwide
+// participation on almost every continent, led by the US and India,
+// with notable cohorts in Brazil and Egypt, reduced access in China
+// (2013 firewall issues) and bandwidth-limited participation from the
+// African interior. The shares below encode that narrative; the top
+// bucket of the paper's choropleth is 10.01–29.69%.
+
+type countryShare struct {
+	Name  string
+	Share float64
+}
+
+var countryTable = []countryShare{
+	{"United States", 0.2200},
+	{"India", 0.1800},
+	{"United Kingdom", 0.0350},
+	{"Germany", 0.0320},
+	{"Brazil", 0.0310},
+	{"Canada", 0.0290},
+	{"Spain", 0.0260},
+	{"Egypt", 0.0250},
+	{"Russia", 0.0240},
+	{"France", 0.0220},
+	{"Greece", 0.0200},
+	{"Italy", 0.0190},
+	{"Pakistan", 0.0180},
+	{"South Korea", 0.0170},
+	{"Taiwan", 0.0160},
+	{"Turkey", 0.0150},
+	{"Mexico", 0.0140},
+	{"Poland", 0.0130},
+	{"Netherlands", 0.0120},
+	{"Australia", 0.0115},
+	{"Japan", 0.0110},
+	{"Israel", 0.0105},
+	{"Singapore", 0.0100},
+	{"Vietnam", 0.0095},
+	{"Ukraine", 0.0090},
+	{"Romania", 0.0085},
+	{"Portugal", 0.0080},
+	{"Indonesia", 0.0075},
+	{"Iran", 0.0070},
+	{"Colombia", 0.0065},
+	{"Argentina", 0.0060},
+	{"Nigeria", 0.0055},
+	{"South Africa", 0.0050},
+	{"Bangladesh", 0.0045},
+	{"Malaysia", 0.0040},
+	{"China", 0.0040}, // 2013 access issues
+	{"Morocco", 0.0035},
+	{"Kenya", 0.0030},
+	{"Chile", 0.0030},
+	{"Sweden", 0.0030},
+}
+
+func sampleCountry(rng *rand.Rand) string {
+	r := rng.Float64()
+	acc := 0.0
+	for _, cs := range countryTable {
+		acc += cs.Share
+		if r < acc {
+			return cs.Name
+		}
+	}
+	return "Other"
+}
+
+// Demographics is the Figure 10 + Section 4 summary.
+type Demographics struct {
+	ByCountry    map[string]int
+	AvgAge       float64
+	MinAge       int
+	MaxAge       int
+	FemaleShare  float64
+	BSShare      float64
+	MSPhDShare   float64
+	TopCountries []string // sorted by participation, descending
+}
+
+// Demographics computes the cohort's demographic summary.
+func (c *Cohort) Demographics() Demographics {
+	d := Demographics{ByCountry: map[string]int{}, MinAge: 200}
+	ageSum, female, bs, ms := 0, 0, 0, 0
+	for _, p := range c.Participants {
+		d.ByCountry[p.Country]++
+		ageSum += p.Age
+		if p.Age < d.MinAge {
+			d.MinAge = p.Age
+		}
+		if p.Age > d.MaxAge {
+			d.MaxAge = p.Age
+		}
+		if p.Female {
+			female++
+		}
+		switch p.Degree {
+		case "BS":
+			bs++
+		case "MS/PhD":
+			ms++
+		}
+	}
+	n := float64(len(c.Participants))
+	d.AvgAge = float64(ageSum) / n
+	d.FemaleShare = float64(female) / n
+	d.BSShare = float64(bs) / n
+	d.MSPhDShare = float64(ms) / n
+	for name := range d.ByCountry {
+		d.TopCountries = append(d.TopCountries, name)
+	}
+	sort.Slice(d.TopCountries, func(i, j int) bool {
+		ci, cj := d.ByCountry[d.TopCountries[i]], d.ByCountry[d.TopCountries[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return d.TopCountries[i] < d.TopCountries[j]
+	})
+	return d
+}

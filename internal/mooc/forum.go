@@ -1,0 +1,122 @@
+package mooc
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Forum activity (Section 3): "participants crave interaction with
+// course staff ... tending these forums was a significant effort,
+// which my teaching assistants mainly handled". The model generates
+// per-week thread volume proportional to active viewership, with a
+// small staff (the acknowledgements name three TAs) answering.
+
+// ForumParams calibrates the discussion model.
+type ForumParams struct {
+	Weeks           int
+	Staff           int
+	ThreadsPerK     float64 // threads per week per 1000 active participants
+	RepliesPerThr   float64 // mean peer replies per thread
+	StaffAnswerProb float64 // probability a thread gets a staff answer
+}
+
+// DefaultForumParams matches the narrative: 10 weeks, 3 TAs, busy
+// boards early in the course.
+func DefaultForumParams() ForumParams {
+	return ForumParams{
+		Weeks:           10,
+		Staff:           3,
+		ThreadsPerK:     25,
+		RepliesPerThr:   2.5,
+		StaffAnswerProb: 0.85,
+	}
+}
+
+// ForumWeek is one week's activity.
+type ForumWeek struct {
+	Week         int
+	Active       int // participants still watching this week
+	Threads      int
+	PeerReplies  int
+	StaffReplies int
+}
+
+// ForumStats summarizes the offering.
+type ForumStats struct {
+	Weeks            []ForumWeek
+	Threads          int
+	PeerReplies      int
+	StaffReplies     int
+	StaffPerTA       float64
+	AnsweredFraction float64
+}
+
+// SimulateForum derives forum traffic from a simulated cohort's
+// viewership curve.
+func (c *Cohort) SimulateForum(p ForumParams, seed int64) *ForumStats {
+	rng := rand.New(rand.NewSource(seed))
+	view := c.Viewership()
+	stats := &ForumStats{}
+	perWeek := len(view) / p.Weeks
+	if perWeek < 1 {
+		perWeek = 1
+	}
+	answered := 0
+	for w := 0; w < p.Weeks; w++ {
+		idx := w * perWeek
+		if idx >= len(view) {
+			idx = len(view) - 1
+		}
+		active := view[idx]
+		mean := p.ThreadsPerK * float64(active) / 1000
+		threads := poisson(rng, mean)
+		peer := 0
+		staff := 0
+		for t := 0; t < threads; t++ {
+			peer += poisson(rng, p.RepliesPerThr)
+			if rng.Float64() < p.StaffAnswerProb {
+				staff++
+				answered++
+			}
+		}
+		stats.Weeks = append(stats.Weeks, ForumWeek{
+			Week: w + 1, Active: active, Threads: threads,
+			PeerReplies: peer, StaffReplies: staff,
+		})
+		stats.Threads += threads
+		stats.PeerReplies += peer
+		stats.StaffReplies += staff
+	}
+	if p.Staff > 0 {
+		stats.StaffPerTA = float64(stats.StaffReplies) / float64(p.Staff)
+	}
+	if stats.Threads > 0 {
+		stats.AnsweredFraction = float64(answered) / float64(stats.Threads)
+	}
+	return stats
+}
+
+// poisson samples a Poisson variate by inversion (normal
+// approximation for large means).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := int(mean + rng.NormFloat64()*math.Sqrt(mean))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,59 @@
+package mooc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestForumTracksViewership(t *testing.T) {
+	c := Simulate(PaperParams(), 6)
+	fs := c.SimulateForum(DefaultForumParams(), 6)
+	if len(fs.Weeks) != 10 {
+		t.Fatalf("weeks = %d", len(fs.Weeks))
+	}
+	// Early weeks are busier than late weeks (attrition).
+	if fs.Weeks[0].Threads <= fs.Weeks[9].Threads {
+		t.Errorf("week 1 (%d threads) should out-post week 10 (%d)",
+			fs.Weeks[0].Threads, fs.Weeks[9].Threads)
+	}
+	if fs.Threads == 0 || fs.StaffReplies == 0 {
+		t.Fatal("no forum activity simulated")
+	}
+	// Most threads get a staff answer (the paper: "admirable speed
+	// and agility").
+	if fs.AnsweredFraction < 0.7 {
+		t.Errorf("answered fraction = %.2f", fs.AnsweredFraction)
+	}
+	// Three TAs shoulder a significant per-person load.
+	if fs.StaffPerTA < 100 {
+		t.Errorf("staff load %f too low to match 'significant effort'", fs.StaffPerTA)
+	}
+	// Totals add up.
+	th, pr, sr := 0, 0, 0
+	for _, w := range fs.Weeks {
+		th += w.Threads
+		pr += w.PeerReplies
+		sr += w.StaffReplies
+	}
+	if th != fs.Threads || pr != fs.PeerReplies || sr != fs.StaffReplies {
+		t.Error("weekly totals inconsistent")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, mean := range []float64{0.5, 3, 40, 800} {
+		n := 4000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, mean)
+		}
+		got := float64(sum) / float64(n)
+		if got < mean*0.9-0.2 || got > mean*1.1+0.2 {
+			t.Errorf("poisson(%g) sample mean %g", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}

@@ -1,0 +1,88 @@
+package mooc
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// The end-of-course survey (Figure 11): participants were asked which
+// technical topics a future offering should add or expand. The word
+// cloud mixes topic requests across the whole flow with words of
+// affirmation. The vocabulary and weights below encode Figure 11's
+// visible emphasis.
+
+type surveyWord struct {
+	Word   string
+	Weight float64
+}
+
+var surveyVocabulary = []surveyWord{
+	{"verification", 9}, {"timing", 8}, {"synthesis", 8}, {"layout", 7},
+	{"placement", 7}, {"routing", 7}, {"SAT", 6}, {"BDD", 6},
+	{"simulation", 6}, {"test", 6}, {"sequential", 5}, {"FPGA", 5},
+	{"physical", 5}, {"design", 9}, {"logic", 8}, {"optimization", 5},
+	{"floorplanning", 4}, {"extraction", 4}, {"DRC", 4}, {"power", 4},
+	{"clock", 4}, {"Verilog", 4}, {"VHDL", 3}, {"STA", 3},
+	{"partitioning", 3}, {"DFT", 3}, {"ATPG", 2}, {"analog", 2},
+	{"lithography", 2}, {"parasitics", 2},
+	{"great", 5}, {"thanks", 5}, {"excellent", 4}, {"more", 6},
+	{"examples", 4}, {"projects", 4}, {"awesome", 3}, {"deeper", 3},
+}
+
+// SurveyResponses generates n free-text survey responses.
+func SurveyResponses(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for _, w := range surveyVocabulary {
+		total += w.Weight
+	}
+	pick := func() string {
+		r := rng.Float64() * total
+		for _, w := range surveyVocabulary {
+			r -= w.Weight
+			if r < 0 {
+				return w.Word
+			}
+		}
+		return surveyVocabulary[0].Word
+	}
+	out := make([]string, n)
+	for i := range out {
+		k := 3 + rng.Intn(8)
+		words := make([]string, k)
+		for j := range words {
+			words[j] = pick()
+		}
+		out[i] = strings.Join(words, " ")
+	}
+	return out
+}
+
+// WordCount is one entry of the mined word cloud.
+type WordCount struct {
+	Word  string
+	Count int
+}
+
+// MineWordCloud tallies word frequencies across responses — the
+// Figure 11 computation.
+func MineWordCloud(responses []string) []WordCount {
+	counts := map[string]int{}
+	for _, r := range responses {
+		for _, w := range strings.Fields(r) {
+			counts[w]++
+		}
+	}
+	out := make([]WordCount, 0, len(counts))
+	for w, c := range counts {
+		out = append(out, WordCount{w, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Word < out[j].Word
+	})
+	return out
+}

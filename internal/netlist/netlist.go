@@ -1,0 +1,233 @@
+// Package netlist provides the shared combinational-network substrate
+// used across the course tools: a BLIF-style Boolean network in which
+// every internal node computes a sum-of-products over its fanins.
+//
+// The representation matches what the course's SIS-era tools consume:
+// named primary inputs and outputs and .names-style cover nodes.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"vlsicad/internal/cube"
+)
+
+// Node is one internal signal of the network: a function of its fanin
+// signals given as a sum-of-products cover over those fanins (cover
+// variable i corresponds to Fanins[i]).
+type Node struct {
+	Name   string
+	Fanins []string
+	Cover  *cube.Cover
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node {
+	return &Node{
+		Name:   n.Name,
+		Fanins: append([]string(nil), n.Fanins...),
+		Cover:  n.Cover.Clone(),
+	}
+}
+
+// Network is a combinational Boolean network.
+type Network struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Nodes   map[string]*Node // keyed by output signal name
+}
+
+// New returns an empty network with the given name.
+func New(name string) *Network {
+	return &Network{Name: name, Nodes: map[string]*Node{}}
+}
+
+// Clone deep-copies the network.
+func (nw *Network) Clone() *Network {
+	c := New(nw.Name)
+	c.Inputs = append([]string(nil), nw.Inputs...)
+	c.Outputs = append([]string(nil), nw.Outputs...)
+	for k, n := range nw.Nodes {
+		c.Nodes[k] = n.Clone()
+	}
+	return c
+}
+
+// AddInput declares a primary input.
+func (nw *Network) AddInput(name string) { nw.Inputs = append(nw.Inputs, name) }
+
+// AddOutput declares a primary output.
+func (nw *Network) AddOutput(name string) { nw.Outputs = append(nw.Outputs, name) }
+
+// AddNode installs (or replaces) an internal node.
+func (nw *Network) AddNode(name string, fanins []string, cover *cube.Cover) *Node {
+	if cover.N != len(fanins) {
+		panic(fmt.Sprintf("netlist: node %s: cover width %d != %d fanins", name, cover.N, len(fanins)))
+	}
+	n := &Node{Name: name, Fanins: append([]string(nil), fanins...), Cover: cover}
+	nw.Nodes[name] = n
+	return n
+}
+
+// IsInput reports whether the signal is a primary input.
+func (nw *Network) IsInput(name string) bool {
+	for _, in := range nw.Inputs {
+		if in == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsOutput reports whether the signal is a primary output.
+func (nw *Network) IsOutput(name string) bool {
+	for _, out := range nw.Outputs {
+		if out == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Fanouts returns, for every signal, the names of nodes that read it.
+func (nw *Network) Fanouts() map[string][]string {
+	out := map[string][]string{}
+	for _, n := range nw.Nodes {
+		for _, f := range n.Fanins {
+			out[f] = append(out[f], n.Name)
+		}
+	}
+	for _, v := range out {
+		sort.Strings(v)
+	}
+	return out
+}
+
+// TopoSort returns the internal nodes in topological order (fanins
+// before fanouts). It reports an error on combinational cycles or
+// undriven signals.
+func (nw *Network) TopoSort() ([]*Node, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []*Node
+	var visit func(name string, path []string) error
+	visit = func(name string, path []string) error {
+		if nw.IsInput(name) {
+			return nil
+		}
+		switch color[name] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("netlist: combinational cycle through %q (path %v)", name, path)
+		}
+		n, ok := nw.Nodes[name]
+		if !ok {
+			return fmt.Errorf("netlist: signal %q is neither input nor driven node", name)
+		}
+		color[name] = gray
+		for _, f := range n.Fanins {
+			if err := visit(f, append(path, name)); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		order = append(order, n)
+		return nil
+	}
+	// Visit from outputs, then from all nodes (to keep dangling logic
+	// in deterministic order).
+	var roots []string
+	roots = append(roots, nw.Outputs...)
+	var names []string
+	for name := range nw.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	roots = append(roots, names...)
+	for _, r := range roots {
+		if err := visit(r, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Eval computes every signal of the network under the given primary
+// input assignment.
+func (nw *Network) Eval(inputs map[string]bool) (map[string]bool, error) {
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	val := map[string]bool{}
+	for _, in := range nw.Inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("netlist: missing value for input %q", in)
+		}
+		val[in] = v
+	}
+	for _, n := range order {
+		assign := make([]bool, len(n.Fanins))
+		for i, f := range n.Fanins {
+			assign[i] = val[f]
+		}
+		val[n.Name] = n.Cover.Eval(assign)
+	}
+	return val, nil
+}
+
+// Sweep removes nodes that drive neither an output nor another node.
+// It returns the number of nodes removed.
+func (nw *Network) Sweep() int {
+	removed := 0
+	for {
+		fanouts := nw.Fanouts()
+		var dead []string
+		for name := range nw.Nodes {
+			if !nw.IsOutput(name) && len(fanouts[name]) == 0 {
+				dead = append(dead, name)
+			}
+		}
+		if len(dead) == 0 {
+			return removed
+		}
+		for _, name := range dead {
+			delete(nw.Nodes, name)
+			removed++
+		}
+	}
+}
+
+// Literals returns the factored-form literal proxy used throughout the
+// course: the total SOP literal count over all nodes.
+func (nw *Network) Literals() int {
+	total := 0
+	for _, n := range nw.Nodes {
+		total += n.Cover.Literals()
+	}
+	return total
+}
+
+// Check validates structural sanity: outputs driven, fanins defined,
+// acyclic.
+func (nw *Network) Check() error {
+	if _, err := nw.TopoSort(); err != nil {
+		return err
+	}
+	for _, out := range nw.Outputs {
+		if !nw.IsInput(out) {
+			if _, ok := nw.Nodes[out]; !ok {
+				return fmt.Errorf("netlist: output %q is undriven", out)
+			}
+		}
+	}
+	return nil
+}

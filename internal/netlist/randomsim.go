@@ -1,0 +1,41 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ProbablyEquivalent runs random-vector simulation on both networks —
+// the cheap filter real verification flows run before the formal
+// engines. It returns false with a distinguishing vector as soon as a
+// mismatch is found, or true after n agreeing vectors (which is
+// evidence, not proof; follow up with EquivalentBDD/EquivalentSAT).
+func ProbablyEquivalent(a, b *Network, n int, seed int64) (bool, map[string]bool, error) {
+	if err := sameInterface(a, b); err != nil {
+		return false, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ins := append([]string(nil), a.Inputs...)
+	sort.Strings(ins)
+	for i := 0; i < n; i++ {
+		vec := map[string]bool{}
+		for _, in := range ins {
+			vec[in] = rng.Intn(2) == 1
+		}
+		va, err := a.Eval(vec)
+		if err != nil {
+			return false, nil, fmt.Errorf("netlist: simulating first network: %w", err)
+		}
+		vb, err := b.Eval(vec)
+		if err != nil {
+			return false, nil, fmt.Errorf("netlist: simulating second network: %w", err)
+		}
+		for _, o := range a.Outputs {
+			if va[o] != vb[o] {
+				return false, vec, nil
+			}
+		}
+	}
+	return true, nil, nil
+}

@@ -1,0 +1,258 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"vlsicad/internal/bdd"
+	"vlsicad/internal/cube"
+	"vlsicad/internal/sat"
+)
+
+// Verification bridges: build the network's output functions as BDDs
+// over its primary inputs, or encode the network into CNF — the two
+// formal-verification paths the course teaches in Week 2.
+
+// BuildBDDs constructs one BDD per primary output over a fresh manager
+// whose variables are the primary inputs in declaration order. It
+// returns the manager, the output nodes (keyed by output name) and the
+// input variable binding.
+func (nw *Network) BuildBDDs() (*bdd.Manager, map[string]bdd.Node, map[string]int, error) {
+	m := bdd.New(len(nw.Inputs))
+	vars := map[string]int{}
+	for i, in := range nw.Inputs {
+		vars[in] = i
+		m.SetName(i, in)
+	}
+	sig := map[string]bdd.Node{}
+	for in, v := range vars {
+		sig[in] = m.Var(v)
+	}
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, n := range order {
+		f := m.False()
+		for _, c := range n.Cover.Cubes {
+			term := m.True()
+			for i, l := range c {
+				in, ok := sig[n.Fanins[i]]
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("netlist: node %s reads unknown signal %s", n.Name, n.Fanins[i])
+				}
+				switch {
+				case l == cube.Pos:
+					term = m.And(term, in)
+				case l == cube.Neg:
+					term = m.And(term, m.Not(in))
+				case l == cube.Void:
+					term = m.False()
+				}
+			}
+			f = m.Or(f, term)
+		}
+		sig[n.Name] = f
+	}
+	outs := map[string]bdd.Node{}
+	for _, o := range nw.Outputs {
+		f, ok := sig[o]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("netlist: output %s undriven", o)
+		}
+		outs[o] = f
+	}
+	return m, outs, vars, nil
+}
+
+// EquivalentBDD checks functional equivalence of two networks with
+// identical input/output name sets by canonical BDD comparison.
+func EquivalentBDD(a, b *Network) (bool, error) {
+	if err := sameInterface(a, b); err != nil {
+		return false, err
+	}
+	// Build both networks in one manager for canonical comparison:
+	// merge b into a namespace-disjoint copy sharing inputs.
+	merged := a.Clone()
+	rename := func(s string) string { return "__b_" + s }
+	for name, n := range b.Nodes {
+		nn := n.Clone()
+		nn.Name = rename(name)
+		for i, f := range nn.Fanins {
+			if !b.IsInput(f) {
+				nn.Fanins[i] = rename(f)
+			}
+		}
+		merged.Nodes[nn.Name] = nn
+	}
+	merged.Outputs = nil
+	merged.Outputs = append(merged.Outputs, a.Outputs...)
+	for _, o := range b.Outputs {
+		if b.IsInput(o) {
+			merged.Outputs = append(merged.Outputs, o)
+		} else {
+			merged.Outputs = append(merged.Outputs, rename(o))
+		}
+	}
+	m, outs, _, err := merged.BuildBDDs()
+	if err != nil {
+		return false, err
+	}
+	_ = m
+	for _, o := range a.Outputs {
+		bo := rename(o)
+		if b.IsInput(o) {
+			bo = o
+		}
+		if outs[o] != outs[bo] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ToCNF encodes the network into the given Tseitin encoder, returning
+// literals for every primary input and output.
+func (nw *Network) ToCNF(e *sat.Enc) (ins map[string]sat.Lit, outs map[string]sat.Lit, err error) {
+	sig := map[string]sat.Lit{}
+	ins = map[string]sat.Lit{}
+	for _, in := range nw.Inputs {
+		l := e.Input()
+		sig[in] = l
+		ins[in] = l
+	}
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, n := range order {
+		var terms []sat.Lit
+		for _, c := range n.Cover.Cubes {
+			var lits []sat.Lit
+			void := false
+			for i, l := range c {
+				fl, ok := sig[n.Fanins[i]]
+				if !ok {
+					return nil, nil, fmt.Errorf("netlist: node %s reads unknown signal %s", n.Name, n.Fanins[i])
+				}
+				switch l {
+				case cube.Pos:
+					lits = append(lits, fl)
+				case cube.Neg:
+					lits = append(lits, fl.Neg())
+				case cube.Void:
+					void = true
+				}
+			}
+			if void {
+				continue
+			}
+			terms = append(terms, e.AndN(lits...))
+		}
+		sig[n.Name] = e.OrN(terms...)
+	}
+	outs = map[string]sat.Lit{}
+	for _, o := range nw.Outputs {
+		l, ok := sig[o]
+		if !ok {
+			return nil, nil, fmt.Errorf("netlist: output %s undriven", o)
+		}
+		outs[o] = l
+	}
+	return ins, outs, nil
+}
+
+// EquivalentSAT checks functional equivalence of two networks with a
+// shared-input miter and a CDCL solve. When the networks differ it
+// also returns a distinguishing input assignment.
+func EquivalentSAT(a, b *Network) (bool, map[string]bool, error) {
+	if err := sameInterface(a, b); err != nil {
+		return false, nil, err
+	}
+	e := sat.NewEnc()
+	insA, outsA, err := a.ToCNF(e)
+	if err != nil {
+		return false, nil, err
+	}
+	// Encode b over the same input literals.
+	sig := map[string]sat.Lit{}
+	for name, l := range insA {
+		sig[name] = l
+	}
+	order, err := b.TopoSort()
+	if err != nil {
+		return false, nil, err
+	}
+	for _, n := range order {
+		var terms []sat.Lit
+		for _, c := range n.Cover.Cubes {
+			var lits []sat.Lit
+			void := false
+			for i, l := range c {
+				fl, ok := sig[n.Fanins[i]]
+				if !ok {
+					return false, nil, fmt.Errorf("netlist: node %s reads unknown signal %s", n.Name, n.Fanins[i])
+				}
+				switch l {
+				case cube.Pos:
+					lits = append(lits, fl)
+				case cube.Neg:
+					lits = append(lits, fl.Neg())
+				case cube.Void:
+					void = true
+				}
+			}
+			if void {
+				continue
+			}
+			terms = append(terms, e.AndN(lits...))
+		}
+		sig[n.Name] = e.OrN(terms...)
+	}
+	var mA, mB []sat.Lit
+	var outNames []string
+	outNames = append(outNames, a.Outputs...)
+	sort.Strings(outNames)
+	for _, o := range outNames {
+		mA = append(mA, outsA[o])
+		mB = append(mB, sig[o])
+	}
+	e.Miter(mA, mB)
+	switch e.S.Solve() {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Sat:
+		model := e.S.Model()
+		witness := map[string]bool{}
+		for name, l := range insA {
+			witness[name] = e.Value(model, l)
+		}
+		return false, witness, nil
+	default:
+		return false, nil, fmt.Errorf("netlist: SAT solver gave up")
+	}
+}
+
+func sameInterface(a, b *Network) error {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return fmt.Errorf("netlist: interface mismatch: %d/%d inputs, %d/%d outputs",
+			len(a.Inputs), len(b.Inputs), len(a.Outputs), len(b.Outputs))
+	}
+	as, bs := append([]string(nil), a.Inputs...), append([]string(nil), b.Inputs...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return fmt.Errorf("netlist: input sets differ: %s vs %s", as[i], bs[i])
+		}
+	}
+	ao, bo := append([]string(nil), a.Outputs...), append([]string(nil), b.Outputs...)
+	sort.Strings(ao)
+	sort.Strings(bo)
+	for i := range ao {
+		if ao[i] != bo[i] {
+			return fmt.Errorf("netlist: output sets differ: %s vs %s", ao[i], bo[i])
+		}
+	}
+	return nil
+}

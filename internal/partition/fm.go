@@ -1,0 +1,247 @@
+// Package partition implements Fiduccia–Mattheyses min-cut hypergraph
+// bipartitioning with gain buckets — the partitioning engine the
+// course's recursive quadratic placer (Project 3) uses to legalize
+// global placements, and a Week-6 lecture topic in its own right.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Hypergraph is a cell/net incidence structure. Nets list the ids of
+// the cells they connect; Weights (optional, default 1 each) give cell
+// areas for the balance constraint.
+type Hypergraph struct {
+	NCells  int
+	Nets    [][]int
+	Weights []int
+}
+
+// Validate checks index bounds.
+func (h *Hypergraph) Validate() error {
+	if h.Weights != nil && len(h.Weights) != h.NCells {
+		return fmt.Errorf("partition: %d weights for %d cells", len(h.Weights), h.NCells)
+	}
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			if c < 0 || c >= h.NCells {
+				return fmt.Errorf("partition: net %d references cell %d (have %d)", ni, c, h.NCells)
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Hypergraph) weight(c int) int {
+	if h.Weights == nil {
+		return 1
+	}
+	return h.Weights[c]
+}
+
+// TotalWeight sums all cell weights.
+func (h *Hypergraph) TotalWeight() int {
+	t := 0
+	for c := 0; c < h.NCells; c++ {
+		t += h.weight(c)
+	}
+	return t
+}
+
+// CutSize counts nets with cells on both sides of the partition.
+func (h *Hypergraph) CutSize(side []int) int {
+	cut := 0
+	for _, net := range h.Nets {
+		if len(net) == 0 {
+			continue
+		}
+		first := side[net[0]]
+		for _, c := range net[1:] {
+			if side[c] != first {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// Result reports the outcome of a partitioning run.
+type Result struct {
+	Side    []int // 0 or 1 per cell
+	Cut     int
+	Passes  int
+	Balance [2]int // total weight per side
+}
+
+// FM runs multi-pass Fiduccia–Mattheyses from a random balanced
+// initial partition. tol is the allowed deviation of either side from
+// perfect balance, as a fraction of total weight (e.g. 0.1).
+func FM(h *Hypergraph, tol float64, seed int64) (*Result, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if h.NCells == 0 {
+		return &Result{Side: []int{}}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := randomBalanced(h, rng)
+	total := h.TotalWeight()
+	lo := int(float64(total)*(0.5-tol)) - maxWeight(h)
+	hi := int(float64(total)*(0.5+tol)) + maxWeight(h)
+	if lo < 0 {
+		lo = 0
+	}
+
+	// cellNets[c] lists nets touching cell c.
+	cellNets := make([][]int, h.NCells)
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			cellNets[c] = append(cellNets[c], ni)
+		}
+	}
+
+	res := &Result{}
+	for pass := 0; pass < 50; pass++ {
+		res.Passes = pass + 1
+		improved := fmPass(h, side, cellNets, lo, hi)
+		if !improved {
+			break
+		}
+	}
+	res.Side = side
+	res.Cut = h.CutSize(side)
+	for c := 0; c < h.NCells; c++ {
+		res.Balance[side[c]] += h.weight(c)
+	}
+	return res, nil
+}
+
+func maxWeight(h *Hypergraph) int {
+	m := 1
+	for c := 0; c < h.NCells; c++ {
+		if w := h.weight(c); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+func randomBalanced(h *Hypergraph, rng *rand.Rand) []int {
+	perm := rng.Perm(h.NCells)
+	side := make([]int, h.NCells)
+	total := h.TotalWeight()
+	acc := 0
+	for _, c := range perm {
+		if acc*2 < total {
+			side[c] = 0
+			acc += h.weight(c)
+		} else {
+			side[c] = 1
+		}
+	}
+	return side
+}
+
+// fmPass performs one FM pass: tentatively move every cell once in
+// best-gain order, then rewind to the best prefix. Returns true if
+// the cut improved.
+func fmPass(h *Hypergraph, side []int, cellNets [][]int, lo, hi int) bool {
+	n := h.NCells
+	locked := make([]bool, n)
+
+	// Per-net side counts.
+	count := make([][2]int, len(h.Nets))
+	for ni, net := range h.Nets {
+		for _, c := range net {
+			count[ni][side[c]]++
+		}
+	}
+	// Gains.
+	gain := make([]int, n)
+	computeGain := func(c int) int {
+		g := 0
+		from := side[c]
+		to := 1 - from
+		for _, ni := range cellNets[c] {
+			if count[ni][from] == 1 {
+				g++ // net becomes uncut
+			}
+			if count[ni][to] == 0 {
+				g-- // net becomes cut
+			}
+		}
+		return g
+	}
+	for c := 0; c < n; c++ {
+		gain[c] = computeGain(c)
+	}
+	sideW := [2]int{}
+	for c := 0; c < n; c++ {
+		sideW[side[c]] += h.weight(c)
+	}
+
+	type move struct {
+		cell int
+		gain int
+	}
+	var moves []move
+	cum, bestCum, bestIdx := 0, 0, -1
+
+	for step := 0; step < n; step++ {
+		// Select the highest-gain movable cell whose move keeps
+		// balance. (A bucket structure makes this O(1); the linear
+		// scan is adequate at course scale and easier to audit.)
+		bestC, bestG := -1, -1<<30
+		for c := 0; c < n; c++ {
+			if locked[c] {
+				continue
+			}
+			from := side[c]
+			if sideW[from]-h.weight(c) < lo || sideW[1-from]+h.weight(c) > hi {
+				continue
+			}
+			if gain[c] > bestG {
+				bestC, bestG = c, gain[c]
+			}
+		}
+		if bestC < 0 {
+			break
+		}
+		// Apply the move and update gains of neighbors (FM update
+		// rules via recompute over touched cells).
+		c := bestC
+		from := side[c]
+		to := 1 - from
+		locked[c] = true
+		side[c] = to
+		sideW[from] -= h.weight(c)
+		sideW[to] += h.weight(c)
+		touched := map[int]bool{}
+		for _, ni := range cellNets[c] {
+			count[ni][from]--
+			count[ni][to]++
+			for _, d := range h.Nets[ni] {
+				if !locked[d] {
+					touched[d] = true
+				}
+			}
+		}
+		for d := range touched {
+			gain[d] = computeGain(d)
+		}
+		cum += bestG
+		moves = append(moves, move{c, bestG})
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(moves) - 1
+		}
+	}
+	// Rewind moves after the best prefix.
+	for i := len(moves) - 1; i > bestIdx; i-- {
+		c := moves[i].cell
+		side[c] = 1 - side[c]
+	}
+	return bestCum > 0
+}

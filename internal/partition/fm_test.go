@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCutSize(t *testing.T) {
+	h := &Hypergraph{NCells: 4, Nets: [][]int{{0, 1}, {2, 3}, {1, 2}}}
+	side := []int{0, 0, 1, 1}
+	if cut := h.CutSize(side); cut != 1 {
+		t.Errorf("cut = %d, want 1", cut)
+	}
+	if cut := h.CutSize([]int{0, 1, 0, 1}); cut != 3 {
+		t.Errorf("cut = %d, want 3", cut)
+	}
+}
+
+func TestFMFindsObviousCut(t *testing.T) {
+	// Two 4-cliques joined by a single net: min cut = 1.
+	var nets [][]int
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			nets = append(nets, []int{i, j}, []int{4 + i, 4 + j})
+		}
+	}
+	nets = append(nets, []int{0, 4})
+	h := &Hypergraph{NCells: 8, Nets: nets}
+	res, err := FM(h, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 1 {
+		t.Errorf("cut = %d, want 1 (sides %v)", res.Cut, res.Side)
+	}
+	// Balance: 4/4 split.
+	if res.Balance[0] != 4 || res.Balance[1] != 4 {
+		t.Errorf("balance = %v", res.Balance)
+	}
+}
+
+func TestFMRespectsBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		n := 10 + rng.Intn(30)
+		var nets [][]int
+		for k := 0; k < 2*n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				nets = append(nets, []int{a, b})
+			}
+		}
+		h := &Hypergraph{NCells: n, Nets: nets}
+		res, err := FM(h, 0.1, int64(iter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.Balance[0] + res.Balance[1]
+		if total != n {
+			t.Fatalf("weights lost: %v", res.Balance)
+		}
+		// Each side within 50% ± (10% + one max cell).
+		lim := int(float64(n)*0.4) - 1
+		if res.Balance[0] < lim || res.Balance[1] < lim {
+			t.Errorf("iter %d: unbalanced %v", iter, res.Balance)
+		}
+	}
+}
+
+func TestFMImprovesOverRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	// Planted structure: ring of two communities.
+	var nets [][]int
+	for i := 0; i < n/2; i++ {
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n / 2)
+			if i != j {
+				nets = append(nets, []int{i, j})
+				nets = append(nets, []int{n/2 + i, n/2 + j})
+			}
+		}
+	}
+	nets = append(nets, []int{0, n / 2}, []int{1, n/2 + 1})
+	h := &Hypergraph{NCells: n, Nets: nets}
+	res, err := FM(h, 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random partition cut for comparison.
+	side := make([]int, n)
+	for i := range side {
+		side[i] = rng.Intn(2)
+	}
+	randomCut := h.CutSize(side)
+	if res.Cut >= randomCut {
+		t.Errorf("FM cut %d should beat random cut %d", res.Cut, randomCut)
+	}
+	if res.Cut > 4 {
+		t.Errorf("FM cut %d too high for planted 2-cut structure", res.Cut)
+	}
+}
+
+func TestFMWeighted(t *testing.T) {
+	// One heavy cell: balance must still hold approximately.
+	h := &Hypergraph{
+		NCells:  5,
+		Nets:    [][]int{{0, 1}, {1, 2}, {3, 4}},
+		Weights: []int{4, 1, 1, 1, 1},
+	}
+	res, err := FM(h, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Balance[0]+res.Balance[1] != 8 {
+		t.Errorf("balance = %v", res.Balance)
+	}
+}
+
+func TestFMValidation(t *testing.T) {
+	h := &Hypergraph{NCells: 2, Nets: [][]int{{0, 5}}}
+	if _, err := FM(h, 0.1, 1); err == nil {
+		t.Error("out-of-range cell should fail")
+	}
+	h2 := &Hypergraph{NCells: 2, Weights: []int{1}}
+	if _, err := FM(h2, 0.1, 1); err == nil {
+		t.Error("weight count mismatch should fail")
+	}
+}
+
+func TestFMEmpty(t *testing.T) {
+	res, err := FM(&Hypergraph{}, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Side) != 0 {
+		t.Error("empty hypergraph should give empty result")
+	}
+}
+
+func TestFMDeterministicPerSeed(t *testing.T) {
+	h := &Hypergraph{NCells: 10, Nets: [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7}, {8, 9}, {0, 9}}}
+	a, _ := FM(h, 0.2, 99)
+	b, _ := FM(h, 0.2, 99)
+	for i := range a.Side {
+		if a.Side[i] != b.Side[i] {
+			t.Fatal("same seed should give same partition")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Simulated-annealing placement — the other Week-6 algorithm and the
+// baseline the quadratic placer is compared against in the course's
+// extra-credit benchmarks. Cells live on a WxH grid of unit slots;
+// moves swap two cells or move a cell to a free slot, accepted by the
+// Metropolis criterion under a geometric cooling schedule.
+
+// AnnealOpts tunes the annealer.
+type AnnealOpts struct {
+	Seed        int64
+	MovesPerT   int     // moves per temperature (default 100·NCells^(4/3) capped)
+	InitialTemp float64 // default derived from random-move statistics
+	Cooling     float64 // geometric factor (default 0.92)
+	MinTemp     float64 // stop threshold (default 1e-3)
+}
+
+// AnnealResult reports the annealing run.
+type AnnealResult struct {
+	Placement   *Placement
+	HPWL        float64
+	Moves       int
+	Accepted    int
+	Temperature float64 // final temperature
+}
+
+// Anneal runs simulated annealing from a random legal placement on
+// the integer grid. Cell coordinates in the result are slot centers.
+func Anneal(p *Problem, opts AnnealOpts) (*AnnealResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cols := int(p.W)
+	rows := int(p.H)
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	nSlots := cols * rows
+	if nSlots < p.NCells {
+		cols = int(math.Ceil(math.Sqrt(float64(p.NCells))))
+		rows = cols
+		nSlots = cols * rows
+	}
+	// slotOf[cell] and cellAt[slot] (-1 = empty).
+	slotOf := make([]int, p.NCells)
+	cellAt := make([]int, nSlots)
+	for i := range cellAt {
+		cellAt[i] = -1
+	}
+	perm := rng.Perm(nSlots)
+	for c := 0; c < p.NCells; c++ {
+		slotOf[c] = perm[c]
+		cellAt[perm[c]] = c
+	}
+	pl := NewPlacement(p.NCells)
+	setCoord := func(c int) {
+		s := slotOf[c]
+		pl.X[c] = float64(s%cols) + 0.5
+		pl.Y[c] = float64(s/cols) + 0.5
+	}
+	for c := 0; c < p.NCells; c++ {
+		setCoord(c)
+	}
+
+	// Incremental cost: nets touching a cell.
+	netsOf := make([][]int, p.NCells)
+	for ni := range p.Nets {
+		for _, c := range p.Nets[ni].Cells {
+			netsOf[c] = append(netsOf[c], ni)
+		}
+	}
+	cost := p.HPWL(pl)
+
+	// deltaFor evaluates the HPWL change of moving/swapping.
+	affected := func(a, b int) map[int]bool {
+		set := map[int]bool{}
+		for _, ni := range netsOf[a] {
+			set[ni] = true
+		}
+		if b >= 0 {
+			for _, ni := range netsOf[b] {
+				set[ni] = true
+			}
+		}
+		return set
+	}
+
+	movesPerT := opts.MovesPerT
+	if movesPerT <= 0 {
+		movesPerT = 20 * p.NCells
+		if movesPerT > 20000 {
+			movesPerT = 20000
+		}
+	}
+	cooling := opts.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.92
+	}
+	minTemp := opts.MinTemp
+	if minTemp <= 0 {
+		minTemp = 1e-3
+	}
+	temp := opts.InitialTemp
+	if temp <= 0 {
+		// Estimate from the std-dev of random move deltas (classic
+		// "hot enough" initialization).
+		temp = estimateInitialTemp(p, pl, rng, slotOf, cellAt, cols, netsOf, affected)
+	}
+
+	res := &AnnealResult{}
+	for ; temp > minTemp; temp *= cooling {
+		for m := 0; m < movesPerT; m++ {
+			res.Moves++
+			a := rng.Intn(p.NCells)
+			target := rng.Intn(nSlots)
+			b := cellAt[target]
+			if b == a {
+				continue
+			}
+			nets := affected(a, b)
+			before := 0.0
+			for ni := range nets {
+				before += p.netHPWL(&p.Nets[ni], pl)
+			}
+			// Apply move.
+			oldSlot := slotOf[a]
+			slotOf[a] = target
+			cellAt[target] = a
+			cellAt[oldSlot] = b
+			if b >= 0 {
+				slotOf[b] = oldSlot
+				setCoord(b)
+			}
+			setCoord(a)
+			after := 0.0
+			for ni := range nets {
+				after += p.netHPWL(&p.Nets[ni], pl)
+			}
+			delta := after - before
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				cost += delta
+				res.Accepted++
+				continue
+			}
+			// Reject: undo.
+			slotOf[a] = oldSlot
+			cellAt[oldSlot] = a
+			cellAt[target] = b
+			if b >= 0 {
+				slotOf[b] = target
+				setCoord(b)
+			}
+			setCoord(a)
+		}
+	}
+	res.Placement = pl
+	res.HPWL = p.HPWL(pl)
+	res.Temperature = temp
+	return res, nil
+}
+
+func estimateInitialTemp(p *Problem, pl *Placement, rng *rand.Rand,
+	slotOf, cellAt []int, cols int, netsOf [][]int,
+	affected func(a, b int) map[int]bool) float64 {
+
+	if p.NCells < 2 {
+		return 1
+	}
+	var deltas []float64
+	for k := 0; k < 50; k++ {
+		a := rng.Intn(p.NCells)
+		nets := affected(a, -1)
+		before := 0.0
+		for ni := range nets {
+			before += p.netHPWL(&p.Nets[ni], pl)
+		}
+		ox, oy := pl.X[a], pl.Y[a]
+		pl.X[a] = float64(rng.Intn(cols)) + 0.5
+		pl.Y[a] = oy
+		after := 0.0
+		for ni := range nets {
+			after += p.netHPWL(&p.Nets[ni], pl)
+		}
+		pl.X[a], pl.Y[a] = ox, oy
+		deltas = append(deltas, math.Abs(after-before))
+	}
+	mean := 0.0
+	for _, d := range deltas {
+		mean += d
+	}
+	mean /= float64(len(deltas))
+	if mean == 0 {
+		return 1
+	}
+	return 20 * mean
+}
+
+// Random places cells uniformly at random (the course's "how bad can
+// it be" baseline).
+func Random(p *Problem, seed int64) *Placement {
+	rng := rand.New(rand.NewSource(seed))
+	pl := NewPlacement(p.NCells)
+	for c := 0; c < p.NCells; c++ {
+		pl.X[c] = rng.Float64() * p.W
+		pl.Y[c] = rng.Float64() * p.H
+	}
+	return pl
+}

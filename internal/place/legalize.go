@@ -1,0 +1,72 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Legalize snaps a continuous placement onto the unit grid of
+// standard-cell rows (one cell per slot), preserving relative order:
+// cells are assigned to rows by y, then packed into slots by x — the
+// final step of the course's Project 3 flow.
+func Legalize(p *Problem, pl *Placement) (*Placement, error) {
+	cols := int(p.W)
+	rows := int(p.H)
+	if cols*rows < p.NCells {
+		return nil, fmt.Errorf("place: %d slots cannot hold %d cells", cols*rows, p.NCells)
+	}
+	out := pl.Clone()
+	order := make([]int, p.NCells)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if pl.Y[order[i]] != pl.Y[order[j]] {
+			return pl.Y[order[i]] < pl.Y[order[j]]
+		}
+		return pl.X[order[i]] < pl.X[order[j]]
+	})
+	// Distribute cells to rows proportionally, then sort each row by x.
+	perRow := int(math.Ceil(float64(p.NCells) / float64(rows)))
+	if perRow > cols {
+		perRow = cols
+	}
+	idx := 0
+	for r := 0; r < rows && idx < p.NCells; r++ {
+		end := idx + perRow
+		if end > p.NCells {
+			end = p.NCells
+		}
+		rowCells := append([]int(nil), order[idx:end]...)
+		sort.SliceStable(rowCells, func(a, b int) bool { return pl.X[rowCells[a]] < pl.X[rowCells[b]] })
+		for s, c := range rowCells {
+			out.X[c] = float64(s) + 0.5
+			out.Y[c] = float64(r) + 0.5
+		}
+		idx = end
+	}
+	return out, nil
+}
+
+// CheckLegal verifies a legalized placement: every cell on a slot
+// center inside the region and no two cells sharing a slot.
+func CheckLegal(p *Problem, pl *Placement) error {
+	seen := map[[2]int]int{}
+	for c := 0; c < p.NCells; c++ {
+		x, y := pl.X[c], pl.Y[c]
+		if x < 0 || x > p.W || y < 0 || y > p.H {
+			return fmt.Errorf("place: cell %d at (%g,%g) outside region %gx%g", c, x, y, p.W, p.H)
+		}
+		fx, fy := x-math.Floor(x), y-math.Floor(y)
+		if math.Abs(fx-0.5) > 1e-9 || math.Abs(fy-0.5) > 1e-9 {
+			return fmt.Errorf("place: cell %d at (%g,%g) not on a slot center", c, x, y)
+		}
+		key := [2]int{int(math.Floor(x)), int(math.Floor(y))}
+		if prev, ok := seen[key]; ok {
+			return fmt.Errorf("place: cells %d and %d overlap at slot %v", prev, c, key)
+		}
+		seen[key] = c
+	}
+	return nil
+}

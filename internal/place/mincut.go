@@ -1,0 +1,92 @@
+package place
+
+import (
+	"sort"
+
+	"vlsicad/internal/partition"
+)
+
+// MinCut places by recursive min-cut bipartitioning (Breuer style):
+// split the cells with Fiduccia–Mattheyses, assign the halves to the
+// two halves of the region, and recurse — the classic alternative to
+// quadratic and annealing placement, built on the same FM engine the
+// course teaches.
+func MinCut(p *Problem, seed int64) (*Placement, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl := NewPlacement(p.NCells)
+	cells := make([]int, p.NCells)
+	for i := range cells {
+		cells[i] = i
+	}
+	minCutRegion(p, pl, cells, rect{0, 0, p.W, p.H}, seed)
+	return pl, nil
+}
+
+func minCutRegion(p *Problem, pl *Placement, cells []int, region rect, seed int64) {
+	if len(cells) == 0 {
+		return
+	}
+	if len(cells) <= 3 {
+		// Leaf cells have no solved coordinates; distribute evenly.
+		for i, c := range cells {
+			pl.X[c] = region.x0 + (float64(i)+0.5)*region.w()/float64(len(cells))
+			pl.Y[c] = region.cy()
+		}
+		return
+	}
+	// Build the sub-hypergraph induced on this cell subset.
+	idx := map[int]int{}
+	for i, c := range cells {
+		idx[c] = i
+	}
+	h := &partition.Hypergraph{NCells: len(cells)}
+	for ni := range p.Nets {
+		var local []int
+		for _, c := range p.Nets[ni].Cells {
+			if j, ok := idx[c]; ok {
+				local = append(local, j)
+			}
+		}
+		if len(local) >= 2 {
+			h.Nets = append(h.Nets, local)
+		}
+	}
+	res, err := partition.FM(h, 0.1, seed)
+	if err != nil {
+		// Validation cannot fail here by construction; fall back to a
+		// positional split for safety.
+		res = &partition.Result{Side: make([]int, len(cells))}
+		for i := range res.Side {
+			if i >= len(cells)/2 {
+				res.Side[i] = 1
+			}
+		}
+	}
+	var lo, hi []int
+	for i, c := range cells {
+		if res.Side[i] == 0 {
+			lo = append(lo, c)
+		} else {
+			hi = append(hi, c)
+		}
+	}
+	sort.Ints(lo)
+	sort.Ints(hi)
+	vertical := region.w() >= region.h()
+	var loR, hiR rect
+	if vertical {
+		frac := float64(len(lo)) / float64(len(cells))
+		mid := region.x0 + region.w()*frac
+		loR = rect{region.x0, region.y0, mid, region.y1}
+		hiR = rect{mid, region.y0, region.x1, region.y1}
+	} else {
+		frac := float64(len(lo)) / float64(len(cells))
+		mid := region.y0 + region.h()*frac
+		loR = rect{region.x0, region.y0, region.x1, mid}
+		hiR = rect{region.x0, mid, region.x1, region.y1}
+	}
+	minCutRegion(p, pl, lo, loR, seed+1)
+	minCutRegion(p, pl, hi, hiR, seed+2)
+}

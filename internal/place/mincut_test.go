@@ -1,0 +1,94 @@
+package place
+
+import "testing"
+
+func TestMinCutBeatsRandom(t *testing.T) {
+	p := randomProblem(60, 120, 10, 10, 14)
+	pl, err := MinCut(p, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All cells inside the region.
+	for c := 0; c < p.NCells; c++ {
+		if pl.X[c] < 0 || pl.X[c] > p.W || pl.Y[c] < 0 || pl.Y[c] > p.H {
+			t.Fatalf("cell %d at (%g,%g) outside region", c, pl.X[c], pl.Y[c])
+		}
+	}
+	r := Random(p, 14)
+	if p.HPWL(pl) >= p.HPWL(r) {
+		t.Errorf("min-cut HPWL %g should beat random %g", p.HPWL(pl), p.HPWL(r))
+	}
+}
+
+func TestMinCutLegalizes(t *testing.T) {
+	p := randomProblem(40, 80, 8, 8, 15)
+	pl, err := MinCut(p, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := Legalize(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, leg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinCutValidates(t *testing.T) {
+	bad := &Problem{NCells: 2, W: 0, H: 1}
+	if _, err := MinCut(bad, 1); err == nil {
+		t.Error("invalid problem should fail")
+	}
+}
+
+func TestMinCutKeepsConnectedCellsClose(t *testing.T) {
+	// Two cliques with one cross edge: the placer should separate the
+	// cliques but keep each clique's cells near each other.
+	p := &Problem{NCells: 8, W: 8, H: 8,
+		Pads: []Pad{{Name: "p", X: 0, Y: 0}, {Name: "q", X: 8, Y: 8}}}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			p.Nets = append(p.Nets,
+				Net{Cells: []int{i, j}},
+				Net{Cells: []int{4 + i, 4 + j}})
+		}
+	}
+	p.Nets = append(p.Nets, Net{Cells: []int{0, 4}})
+	pl, err := MinCut(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := func(group []int) float64 {
+		total := 0.0
+		for _, a := range group {
+			for _, b := range group {
+				dx, dy := pl.X[a]-pl.X[b], pl.Y[a]-pl.Y[b]
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				total += dx + dy
+			}
+		}
+		return total
+	}
+	cross := 0.0
+	for _, a := range []int{0, 1, 2, 3} {
+		for _, b := range []int{4, 5, 6, 7} {
+			dx, dy := pl.X[a]-pl.X[b], pl.Y[a]-pl.Y[b]
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			cross += dx + dy
+		}
+	}
+	if intra([]int{0, 1, 2, 3})+intra([]int{4, 5, 6, 7}) >= 2*cross {
+		t.Error("cliques not clustered: intra distance should be well below cross distance")
+	}
+}

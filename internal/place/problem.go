@@ -1,0 +1,142 @@
+// Package place implements the course's Week-6 placement algorithms
+// and software Project 3: quadratic global placement (with recursive
+// bipartition legalization, as in PROUD) and a simulated-annealing
+// baseline, over gate/pad netlists with half-perimeter wirelength as
+// the quality metric.
+package place
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pad is a fixed terminal on the chip boundary.
+type Pad struct {
+	Name string
+	X, Y float64
+}
+
+// Net connects movable cells and fixed pads.
+type Net struct {
+	Cells  []int
+	Pads   []int
+	Weight float64 // 0 means 1
+}
+
+// Problem is a placement instance: NCells movable unit-area cells,
+// fixed pads, and nets, inside the region [0,W]×[0,H].
+type Problem struct {
+	NCells int
+	Pads   []Pad
+	Nets   []Net
+	W, H   float64
+}
+
+// Validate checks index bounds and region sanity.
+func (p *Problem) Validate() error {
+	if p.W <= 0 || p.H <= 0 {
+		return fmt.Errorf("place: non-positive region %gx%g", p.W, p.H)
+	}
+	for ni, n := range p.Nets {
+		for _, c := range n.Cells {
+			if c < 0 || c >= p.NCells {
+				return fmt.Errorf("place: net %d references cell %d (have %d)", ni, c, p.NCells)
+			}
+		}
+		for _, pd := range n.Pads {
+			if pd < 0 || pd >= len(p.Pads) {
+				return fmt.Errorf("place: net %d references pad %d (have %d)", ni, pd, len(p.Pads))
+			}
+		}
+		if len(n.Cells)+len(n.Pads) < 2 {
+			return fmt.Errorf("place: net %d has fewer than 2 pins", ni)
+		}
+	}
+	return nil
+}
+
+func (n *Net) weight() float64 {
+	if n.Weight == 0 {
+		return 1
+	}
+	return n.Weight
+}
+
+// Placement holds cell coordinates.
+type Placement struct {
+	X, Y []float64
+}
+
+// NewPlacement allocates a zeroed placement for n cells.
+func NewPlacement(n int) *Placement {
+	return &Placement{X: make([]float64, n), Y: make([]float64, n)}
+}
+
+// Clone deep-copies the placement.
+func (pl *Placement) Clone() *Placement {
+	return &Placement{
+		X: append([]float64(nil), pl.X...),
+		Y: append([]float64(nil), pl.Y...),
+	}
+}
+
+// HPWL computes the weighted half-perimeter wirelength of the
+// placement — the course's standard placement metric.
+func (p *Problem) HPWL(pl *Placement) float64 {
+	total := 0.0
+	for i := range p.Nets {
+		total += p.netHPWL(&p.Nets[i], pl)
+	}
+	return total
+}
+
+func (p *Problem) netHPWL(n *Net, pl *Placement) float64 {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	touch := func(x, y float64) {
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	for _, c := range n.Cells {
+		touch(pl.X[c], pl.Y[c])
+	}
+	for _, pd := range n.Pads {
+		touch(p.Pads[pd].X, p.Pads[pd].Y)
+	}
+	return n.weight() * ((maxX - minX) + (maxY - minY))
+}
+
+// QuadraticWL computes the clique-model squared wirelength the
+// quadratic solver actually minimizes (for monotonicity tests).
+func (p *Problem) QuadraticWL(pl *Placement) float64 {
+	total := 0.0
+	for i := range p.Nets {
+		n := &p.Nets[i]
+		k := len(n.Cells) + len(n.Pads)
+		if k < 2 {
+			continue
+		}
+		w := n.weight() * cliqueWeight(k)
+		type pt struct{ x, y float64 }
+		var pts []pt
+		for _, c := range n.Cells {
+			pts = append(pts, pt{pl.X[c], pl.Y[c]})
+		}
+		for _, pd := range n.Pads {
+			pts = append(pts, pt{p.Pads[pd].X, p.Pads[pd].Y})
+		}
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				dx := pts[i].x - pts[j].x
+				dy := pts[i].y - pts[j].y
+				total += w * (dx*dx + dy*dy)
+			}
+		}
+	}
+	return total
+}
+
+// cliqueWeight is the standard k-pin clique scaling 2/k.
+func cliqueWeight(k int) float64 { return 2 / float64(k) }

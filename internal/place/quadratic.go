@@ -1,0 +1,238 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vlsicad/internal/linsolve"
+)
+
+// Quadratic placement (Project 3): minimize clique-model squared
+// wirelength by solving two sparse SPD systems (one for x, one for y),
+// then legalize by recursive bipartition — sort on the solved
+// coordinate, split the cells, split the region, propagate external
+// connections onto region boundaries as pseudo-pads, and recurse
+// (the PROUD "sea of gates" strategy the course project followed).
+
+// QuadraticOpts tunes the placer.
+type QuadraticOpts struct {
+	MaxDepth int     // recursion depth limit (0 = derive from size)
+	LeafSize int     // stop splitting below this many cells (default 3)
+	Tol      float64 // CG tolerance (default 1e-8)
+}
+
+// Quadratic runs global quadratic placement with recursive
+// bipartition and returns the (continuous) placement.
+func Quadratic(p *Problem, opts QuadraticOpts) (*Placement, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.LeafSize <= 0 {
+		opts.LeafSize = 3
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-8
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 2 * int(math.Ceil(math.Log2(float64(p.NCells+1))))
+	}
+	pl := NewPlacement(p.NCells)
+	cells := make([]int, p.NCells)
+	for i := range cells {
+		cells[i] = i
+	}
+	region := rect{0, 0, p.W, p.H}
+	if err := placeRegion(p, pl, cells, region, 0, opts); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+type rect struct{ x0, y0, x1, y1 float64 }
+
+func (r rect) cx() float64 { return (r.x0 + r.x1) / 2 }
+func (r rect) cy() float64 { return (r.y0 + r.y1) / 2 }
+func (r rect) w() float64  { return r.x1 - r.x0 }
+func (r rect) h() float64  { return r.y1 - r.y0 }
+
+// clampToRegion projects a point onto the region boundary box.
+func (r rect) clamp(x, y float64) (float64, float64) {
+	return math.Max(r.x0, math.Min(r.x1, x)), math.Max(r.y0, math.Min(r.y1, y))
+}
+
+// placeRegion solves the quadratic system for the given cell subset
+// within region, then splits and recurses.
+func placeRegion(p *Problem, pl *Placement, cells []int, region rect, depth int, opts QuadraticOpts) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	if err := solveQuadratic(p, pl, cells, region, opts.Tol); err != nil {
+		return err
+	}
+	if len(cells) <= opts.LeafSize || depth >= opts.MaxDepth {
+		spreadInRegion(pl, cells, region)
+		return nil
+	}
+	// Split on the long dimension of the region.
+	vertical := region.w() >= region.h()
+	sorted := append([]int(nil), cells...)
+	if vertical {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			if pl.X[sorted[i]] != pl.X[sorted[j]] {
+				return pl.X[sorted[i]] < pl.X[sorted[j]]
+			}
+			return sorted[i] < sorted[j]
+		})
+	} else {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			if pl.Y[sorted[i]] != pl.Y[sorted[j]] {
+				return pl.Y[sorted[i]] < pl.Y[sorted[j]]
+			}
+			return sorted[i] < sorted[j]
+		})
+	}
+	half := (len(sorted) + 1) / 2
+	lowCells, highCells := sorted[:half], sorted[half:]
+	var lowR, highR rect
+	if vertical {
+		mid := region.x0 + region.w()*float64(half)/float64(len(sorted))
+		lowR = rect{region.x0, region.y0, mid, region.y1}
+		highR = rect{mid, region.y0, region.x1, region.y1}
+	} else {
+		mid := region.y0 + region.h()*float64(half)/float64(len(sorted))
+		lowR = rect{region.x0, region.y0, region.x1, mid}
+		highR = rect{region.x0, mid, region.x1, region.y1}
+	}
+	if err := placeRegion(p, pl, lowCells, lowR, depth+1, opts); err != nil {
+		return err
+	}
+	return placeRegion(p, pl, highCells, highR, depth+1, opts)
+}
+
+// solveQuadratic solves the clique-model quadratic program for the
+// cell subset. Connections to cells outside the subset and to pads are
+// treated as fixed anchors clamped onto the region.
+func solveQuadratic(p *Problem, pl *Placement, cells []int, region rect, tol float64) error {
+	idx := map[int]int{}
+	for i, c := range cells {
+		idx[c] = i
+	}
+	n := len(cells)
+	a := linsolve.NewSparse(n)
+	bx := make([]float64, n)
+	by := make([]float64, n)
+
+	addPair := func(ci int, otherIn bool, oj int, fx, fy, w float64) {
+		a.Add(ci, ci, w)
+		if otherIn {
+			a.Add(ci, oj, -w)
+		} else {
+			cx, cy := region.clamp(fx, fy)
+			bx[ci] += w * cx
+			by[ci] += w * cy
+		}
+	}
+
+	for ni := range p.Nets {
+		net := &p.Nets[ni]
+		k := len(net.Cells) + len(net.Pads)
+		if k < 2 {
+			continue
+		}
+		w := net.weight() * cliqueWeight(k)
+		// All pin pairs in the clique.
+		type pin struct {
+			cell int // -1 for pad
+			x, y float64
+		}
+		var pins []pin
+		for _, c := range net.Cells {
+			pins = append(pins, pin{cell: c, x: pl.X[c], y: pl.Y[c]})
+		}
+		for _, pd := range net.Pads {
+			pins = append(pins, pin{cell: -1, x: p.Pads[pd].X, y: p.Pads[pd].Y})
+		}
+		for i := 0; i < len(pins); i++ {
+			pi := pins[i]
+			ii, inI := -1, false
+			if pi.cell >= 0 {
+				ii, inI = idx[pi.cell], true
+				if _, ok := idx[pi.cell]; !ok {
+					inI = false
+				}
+			}
+			for j := i + 1; j < len(pins); j++ {
+				pj := pins[j]
+				jj, inJ := -1, false
+				if pj.cell >= 0 {
+					if v, ok := idx[pj.cell]; ok {
+						jj, inJ = v, true
+					}
+				}
+				switch {
+				case inI && inJ:
+					addPair(ii, true, jj, 0, 0, w)
+					addPair(jj, true, ii, 0, 0, w)
+				case inI && !inJ:
+					addPair(ii, false, 0, pj.x, pj.y, w)
+				case !inI && inJ:
+					addPair(jj, false, 0, pi.x, pi.y, w)
+				}
+			}
+		}
+	}
+	// Cells with no connectivity sit at the region center.
+	for i := 0; i < n; i++ {
+		if a.At(i, i) == 0 {
+			a.Add(i, i, 1)
+			bx[i] = region.cx()
+			by[i] = region.cy()
+		}
+	}
+	xs, resX := linsolve.CG(a, bx, tol, 10000)
+	ys, resY := linsolve.CG(a, by, tol, 10000)
+	if !resX.Converged || !resY.Converged {
+		return fmt.Errorf("place: CG did not converge (res %g / %g)", resX.Residual, resY.Residual)
+	}
+	for i, c := range cells {
+		pl.X[c], pl.Y[c] = region.clamp(xs[i], ys[i])
+	}
+	return nil
+}
+
+// spreadInRegion distributes the cells of a leaf region on a uniform
+// grid, preserving the solved relative order.
+func spreadInRegion(pl *Placement, cells []int, region rect) {
+	k := len(cells)
+	if k == 0 {
+		return
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(k) * region.w() / math.Max(region.h(), 1e-9))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (k + cols - 1) / cols
+	sorted := append([]int(nil), cells...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if pl.Y[sorted[i]] != pl.Y[sorted[j]] {
+			return pl.Y[sorted[i]] < pl.Y[sorted[j]]
+		}
+		return pl.X[sorted[i]] < pl.X[sorted[j]]
+	})
+	i := 0
+	for r := 0; r < rows && i < k; r++ {
+		// Cells in this row, ordered by x.
+		rowEnd := i + cols
+		if rowEnd > k {
+			rowEnd = k
+		}
+		rowCells := append([]int(nil), sorted[i:rowEnd]...)
+		sort.SliceStable(rowCells, func(a, b int) bool { return pl.X[rowCells[a]] < pl.X[rowCells[b]] })
+		for c, cell := range rowCells {
+			pl.X[cell] = region.x0 + (float64(c)+0.5)*region.w()/float64(len(rowCells))
+			pl.Y[cell] = region.y0 + (float64(r)+0.5)*region.h()/float64(rows)
+		}
+		i = rowEnd
+	}
+}

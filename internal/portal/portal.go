@@ -1,0 +1,137 @@
+// Package portal reproduces the cloud software architecture of the
+// paper's Figure 4: web-style tool portals that consume an ASCII text
+// file, run an EDA tool with runaway-job termination, and return ASCII
+// text output to a per-user history page. The same job machinery
+// backs the auto-graders.
+package portal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tool is a text-in/text-out EDA tool. Implementations should poll
+// cancel (closed on timeout) in long loops; the portal also abandons
+// tools that ignore it.
+type Tool interface {
+	Name() string
+	Describe() string
+	Run(input string, cancel <-chan struct{}) (string, error)
+}
+
+// JobResult is one portal execution record.
+type JobResult struct {
+	Tool     string
+	Output   string
+	Err      string
+	Duration time.Duration
+	TimedOut bool
+	When     time.Time
+}
+
+// Portal hosts a set of tools and per-user result histories.
+type Portal struct {
+	mu      sync.Mutex
+	tools   map[string]Tool
+	history map[string][]JobResult
+	timeout time.Duration
+	clock   func() time.Time
+}
+
+// New creates a portal with the given runaway-tool timeout.
+func New(timeout time.Duration) *Portal {
+	return &Portal{
+		tools:   map[string]Tool{},
+		history: map[string][]JobResult{},
+		timeout: timeout,
+		clock:   time.Now,
+	}
+}
+
+// Register installs a tool; registering a duplicate name is an error.
+func (p *Portal) Register(t Tool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.tools[t.Name()]; dup {
+		return fmt.Errorf("portal: tool %q already registered", t.Name())
+	}
+	p.tools[t.Name()] = t
+	return nil
+}
+
+// Tools lists the registered tool names, sorted.
+func (p *Portal) Tools() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for name := range p.tools {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit runs a job synchronously (with timeout enforcement) and
+// appends the result to the user's history.
+func (p *Portal) Submit(user, tool, input string) (JobResult, error) {
+	p.mu.Lock()
+	t, ok := p.tools[tool]
+	p.mu.Unlock()
+	if !ok {
+		return JobResult{}, fmt.Errorf("portal: no tool %q", tool)
+	}
+	start := p.clock()
+	cancel := make(chan struct{})
+	type outcome struct {
+		out string
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		out, err := t.Run(input, cancel)
+		done <- outcome{out, err}
+	}()
+	res := JobResult{Tool: tool, When: start}
+	select {
+	case o := <-done:
+		res.Output = o.out
+		if o.err != nil {
+			res.Err = o.err.Error()
+		}
+	case <-time.After(p.timeout):
+		close(cancel)
+		// Give the tool a short grace period to acknowledge.
+		select {
+		case o := <-done:
+			res.Output = o.out
+			if o.err != nil {
+				res.Err = o.err.Error()
+			}
+		case <-time.After(50 * time.Millisecond):
+		}
+		res.TimedOut = true
+		if res.Err == "" {
+			res.Err = "terminated: exceeded portal time limit"
+		}
+	}
+	res.Duration = p.clock().Sub(start)
+	p.mu.Lock()
+	p.history[user] = append(p.history[user], res)
+	p.mu.Unlock()
+	return res, nil
+}
+
+// History returns the user's past results, newest first — the
+// "scroll for older outputs" page of the paper's portal.
+func (p *Portal) History(user string) []JobResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.history[user]
+	out := make([]JobResult, len(h))
+	for i := range h {
+		out[i] = h[len(h)-1-i]
+	}
+	return out
+}

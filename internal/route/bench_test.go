@@ -1,0 +1,73 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Ablations: BFS/Dijkstra vs A*, and net-ordering policies
+// (DESIGN.md §4).
+
+func benchInstance(seed int64) (*Grid, []Net) {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGrid(60, 60, DefaultCost())
+	for i := 0; i < 150; i++ {
+		g.Block(Point{X: rng.Intn(60), Y: rng.Intn(60), L: rng.Intn(Layers)})
+	}
+	var nets []Net
+	for i := 0; i < 60; i++ {
+		a := Point{X: rng.Intn(60), Y: rng.Intn(60), L: 0}
+		b := Point{X: rng.Intn(60), Y: rng.Intn(60), L: 0}
+		if a == b || g.Blocked(a) || g.Blocked(b) {
+			continue
+		}
+		nets = append(nets, Net{Name: fmt.Sprintf("n%d", i), A: a, B: b})
+	}
+	return g, nets
+}
+
+func benchRouteAll(b *testing.B, alg Algorithm, order Order) {
+	g, nets := benchInstance(42)
+	var completion float64
+	var expanded int
+	for i := 0; i < b.N; i++ {
+		res := RouteAll(g.Clone(), nets, Opts{Alg: alg, Order: order, RipupRounds: 3, Seed: 42})
+		completion = float64(len(res.Paths)) / float64(len(nets))
+		expanded = res.Expanded
+	}
+	b.ReportMetric(100*completion, "completion_pct")
+	b.ReportMetric(float64(expanded), "expanded")
+}
+
+func BenchmarkRouteDijkstraGivenOrder(b *testing.B) { benchRouteAll(b, Dijkstra, OrderGiven) }
+func BenchmarkRouteAStarGivenOrder(b *testing.B)    { benchRouteAll(b, AStar, OrderGiven) }
+func BenchmarkRouteAStarShortFirst(b *testing.B)    { benchRouteAll(b, AStar, OrderShortFirst) }
+func BenchmarkRouteAStarLongFirst(b *testing.B)     { benchRouteAll(b, AStar, OrderLongFirst) }
+
+func BenchmarkSingleNetAStarVsDijkstra(b *testing.B) {
+	g := NewGrid(100, 100, DefaultCost())
+	net := Net{Name: "x", A: Point{X: 2, Y: 3, L: 0}, B: Point{X: 95, Y: 90, L: 0}}
+	b.Run("dijkstra", func(b *testing.B) {
+		var exp int
+		for i := 0; i < b.N; i++ {
+			_, _, e, err := RouteNet(g, net, Dijkstra)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exp = e
+		}
+		b.ReportMetric(float64(exp), "expanded")
+	})
+	b.Run("astar", func(b *testing.B) {
+		var exp int
+		for i := 0; i < b.N; i++ {
+			_, _, e, err := RouteNet(g, net, AStar)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exp = e
+		}
+		b.ReportMetric(float64(exp), "expanded")
+	})
+}

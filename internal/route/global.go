@@ -1,0 +1,224 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Coarse global routing: before detailed maze routing, real flows
+// assign nets to coarse grid cells ("GCells") with edge capacities and
+// measure congestion. This extension routes each two-pin net as one of
+// its two L-shapes, chosen to minimize incremental overflow — the
+// classic pattern-routing formulation.
+
+// GGrid is a coarse routing grid: gw×gh cells with per-edge capacity.
+type GGrid struct {
+	W, H int
+	Cap  int
+	// demand on horizontal edges (between (x,y) and (x+1,y)):
+	// index y*(W-1)+x; vertical edges analogous.
+	hDemand []int
+	vDemand []int
+}
+
+// NewGGrid returns an empty coarse grid with the given edge capacity.
+func NewGGrid(w, h, cap int) *GGrid {
+	return &GGrid{
+		W: w, H: h, Cap: cap,
+		hDemand: make([]int, (w-1)*h),
+		vDemand: make([]int, w*(h-1)),
+	}
+}
+
+func (g *GGrid) hIdx(x, y int) int { return y*(g.W-1) + x }
+func (g *GGrid) vIdx(x, y int) int { return y*g.W + x }
+
+// addH adds demand to the horizontal run [x0,x1] at row y.
+func (g *GGrid) addH(x0, x1, y, d int) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	for x := x0; x < x1; x++ {
+		g.hDemand[g.hIdx(x, y)] += d
+	}
+}
+
+func (g *GGrid) addV(y0, y1, x, d int) {
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := y0; y < y1; y++ {
+		g.vDemand[g.vIdx(x, y)] += d
+	}
+}
+
+// lCost returns the overflow increase of routing the net's L-shape:
+// horizFirst runs a→(bx,ay)→b, otherwise a→(ax,by)→b.
+func (g *GGrid) lCost(ax, ay, bx, by int, horizFirst bool) int {
+	cost := 0
+	over := func(demand, cap int) int {
+		if demand >= cap {
+			return demand - cap + 1
+		}
+		return 0
+	}
+	count := func(horiz bool, a0, a1, fixed int) {
+		if a0 > a1 {
+			a0, a1 = a1, a0
+		}
+		for i := a0; i < a1; i++ {
+			if horiz {
+				cost += over(g.hDemand[g.hIdx(i, fixed)], g.Cap)
+			} else {
+				cost += over(g.vDemand[g.vIdx(fixed, i)], g.Cap)
+			}
+		}
+	}
+	if horizFirst {
+		count(true, ax, bx, ay)
+		count(false, ay, by, bx)
+	} else {
+		count(false, ay, by, ax)
+		count(true, ax, bx, by)
+	}
+	return cost
+}
+
+// commit routes the chosen L.
+func (g *GGrid) commit(ax, ay, bx, by int, horizFirst bool) {
+	if horizFirst {
+		g.addH(ax, bx, ay, 1)
+		g.addV(ay, by, bx, 1)
+	} else {
+		g.addV(ay, by, ax, 1)
+		g.addH(ax, bx, by, 1)
+	}
+}
+
+// GlobalResult reports a coarse-routing run.
+type GlobalResult struct {
+	Wirelength    int
+	TotalOverflow int
+	MaxDemand     int
+}
+
+// GlobalRoute pattern-routes the nets (pins taken modulo the coarse
+// grid) in descending bounding-box order, choosing per net the
+// L-shape with smaller incremental overflow.
+func (g *GGrid) GlobalRoute(nets []Net) *GlobalResult {
+	order := make([]int, len(nets))
+	for i := range order {
+		order[i] = i
+	}
+	hpwl := func(n Net) int {
+		dx, dy := n.A.X-n.B.X, n.A.Y-n.B.Y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	sort.SliceStable(order, func(i, j int) bool { return hpwl(nets[order[i]]) > hpwl(nets[order[j]]) })
+
+	res := &GlobalResult{}
+	clampX := func(x int) int {
+		if x < 0 {
+			x = 0
+		}
+		if x >= g.W {
+			x = g.W - 1
+		}
+		return x
+	}
+	clampY := func(y int) int {
+		if y < 0 {
+			y = 0
+		}
+		if y >= g.H {
+			y = g.H - 1
+		}
+		return y
+	}
+	for _, ni := range order {
+		n := nets[ni]
+		ax, ay := clampX(n.A.X), clampY(n.A.Y)
+		bx, by := clampX(n.B.X), clampY(n.B.Y)
+		res.Wirelength += hpwl(Net{A: Point{X: ax, Y: ay}, B: Point{X: bx, Y: by}})
+		// Two L decompositions: horizontal-first and vertical-first.
+		c1 := g.lCost(ax, ay, bx, by, true)
+		c2 := g.lCost(ax, ay, bx, by, false)
+		if c1 <= c2 {
+			g.commit(ax, ay, bx, by, true)
+		} else {
+			g.commit(ax, ay, bx, by, false)
+		}
+	}
+	for _, d := range g.hDemand {
+		if d > g.Cap {
+			res.TotalOverflow += d - g.Cap
+		}
+		if d > res.MaxDemand {
+			res.MaxDemand = d
+		}
+	}
+	for _, d := range g.vDemand {
+		if d > g.Cap {
+			res.TotalOverflow += d - g.Cap
+		}
+		if d > res.MaxDemand {
+			res.MaxDemand = d
+		}
+	}
+	return res
+}
+
+// CongestionMap renders per-cell demand (max of touching edges) as an
+// ASCII heat map: '.' empty through '9' and '!' for overflow.
+func (g *GGrid) CongestionMap() string {
+	var b strings.Builder
+	for y := g.H - 1; y >= 0; y-- {
+		for x := 0; x < g.W; x++ {
+			d := 0
+			if x < g.W-1 {
+				d = maxInt(d, g.hDemand[g.hIdx(x, y)])
+			}
+			if x > 0 {
+				d = maxInt(d, g.hDemand[g.hIdx(x-1, y)])
+			}
+			if y < g.H-1 {
+				d = maxInt(d, g.vDemand[g.vIdx(x, y)])
+			}
+			if y > 0 {
+				d = maxInt(d, g.vDemand[g.vIdx(x, y-1)])
+			}
+			switch {
+			case d == 0:
+				b.WriteByte('.')
+			case d > g.Cap:
+				b.WriteByte('!')
+			case d > 9:
+				b.WriteByte('*')
+			default:
+				b.WriteByte(byte('0' + d))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String summarizes the grid state.
+func (r *GlobalResult) String() string {
+	return fmt.Sprintf("wirelength %d, total overflow %d, max edge demand %d",
+		r.Wirelength, r.TotalOverflow, r.MaxDemand)
+}

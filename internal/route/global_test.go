@@ -1,0 +1,91 @@
+package route
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGlobalRouteSingleNet(t *testing.T) {
+	g := NewGGrid(8, 8, 2)
+	res := g.GlobalRoute([]Net{{Name: "n", A: Point{X: 1, Y: 1}, B: Point{X: 5, Y: 4}}})
+	if res.Wirelength != 7 {
+		t.Errorf("wirelength = %d, want 7", res.Wirelength)
+	}
+	if res.TotalOverflow != 0 {
+		t.Errorf("overflow = %d", res.TotalOverflow)
+	}
+	if res.MaxDemand != 1 {
+		t.Errorf("max demand = %d", res.MaxDemand)
+	}
+}
+
+func TestGlobalRouteAvoidsCongestion(t *testing.T) {
+	// Many nets share row 0 if naive; the second L choice dodges
+	// overflow until capacity truly runs out.
+	g := NewGGrid(10, 10, 2)
+	var nets []Net
+	for i := 0; i < 4; i++ {
+		nets = append(nets, Net{
+			Name: "n", A: Point{X: 0, Y: 0}, B: Point{X: 9, Y: 9},
+		})
+	}
+	res := g.GlobalRoute(nets)
+	// Capacity 2 per edge, two L choices: 4 identical nets fit (2 per
+	// L) with no overflow.
+	if res.TotalOverflow != 0 {
+		t.Errorf("overflow = %d, want 0 (L diversification)", res.TotalOverflow)
+	}
+	// A 5th net must overflow.
+	g2 := NewGGrid(10, 10, 2)
+	res2 := g2.GlobalRoute(append(nets, Net{Name: "x", A: Point{X: 0, Y: 0}, B: Point{X: 9, Y: 9}}))
+	if res2.TotalOverflow == 0 {
+		t.Error("5 nets on capacity 2 must overflow")
+	}
+}
+
+func TestGlobalRouteCapacityScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var nets []Net
+	for i := 0; i < 120; i++ {
+		nets = append(nets, Net{
+			Name: "n",
+			A:    Point{X: rng.Intn(12), Y: rng.Intn(12)},
+			B:    Point{X: rng.Intn(12), Y: rng.Intn(12)},
+		})
+	}
+	lo := NewGGrid(12, 12, 2).GlobalRoute(nets)
+	hi := NewGGrid(12, 12, 8).GlobalRoute(nets)
+	if hi.TotalOverflow > lo.TotalOverflow {
+		t.Errorf("more capacity should not increase overflow: %d vs %d",
+			hi.TotalOverflow, lo.TotalOverflow)
+	}
+	if lo.Wirelength != hi.Wirelength {
+		t.Errorf("pattern wirelength should not depend on capacity")
+	}
+}
+
+func TestCongestionMap(t *testing.T) {
+	g := NewGGrid(6, 4, 1)
+	g.GlobalRoute([]Net{
+		{Name: "a", A: Point{X: 0, Y: 0}, B: Point{X: 5, Y: 0}},
+		{Name: "b", A: Point{X: 0, Y: 0}, B: Point{X: 5, Y: 0}},
+	})
+	m := g.CongestionMap()
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != 4 || len(lines[0]) != 6 {
+		t.Fatalf("map shape wrong:\n%s", m)
+	}
+	if !strings.Contains(m, "!") {
+		t.Errorf("two nets on capacity 1 should show overflow:\n%s", m)
+	}
+}
+
+func TestGlobalClamping(t *testing.T) {
+	g := NewGGrid(4, 4, 1)
+	// Off-grid pins are clamped rather than crashing.
+	res := g.GlobalRoute([]Net{{Name: "n", A: Point{X: -3, Y: 0}, B: Point{X: 9, Y: 9}}})
+	if res.Wirelength == 0 {
+		t.Error("clamped net should still have length")
+	}
+}

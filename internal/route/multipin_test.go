@@ -1,0 +1,181 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMultiNetThreePins(t *testing.T) {
+	g := NewGrid(12, 12, DefaultCost())
+	net := MultiNet{Name: "m", Pins: []Point{
+		{X: 1, Y: 1, L: 0}, {X: 9, Y: 1, L: 0}, {X: 5, Y: 8, L: 0},
+	}}
+	tree, _, err := RouteMultiNet(g, net, AStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree must touch every pin.
+	pts := map[Point]bool{}
+	for _, p := range tree.Points() {
+		pts[p] = true
+	}
+	for _, pin := range net.Pins {
+		if !pts[pin] {
+			t.Errorf("pin %v not on tree", pin)
+		}
+	}
+	// Tree must be connected: flood fill from pin 0 over tree points.
+	if !treeConnected(tree, net.Pins) {
+		t.Error("tree is not connected")
+	}
+	// Sharing should beat three independent two-pin routes star-wise:
+	// tree wirelength is at most sum of pairwise distances to pin 0.
+	starBound := manhattanPts(net.Pins[0], net.Pins[1]) + manhattanPts(net.Pins[0], net.Pins[2])
+	if tree.Wirelength() > starBound {
+		t.Errorf("tree wirelength %d exceeds star bound %d", tree.Wirelength(), starBound)
+	}
+}
+
+func treeConnected(tree *Tree, pins []Point) bool {
+	pts := map[Point]bool{}
+	for _, p := range tree.Points() {
+		pts[p] = true
+	}
+	if len(pts) == 0 {
+		return false
+	}
+	visited := map[Point]bool{}
+	stack := []Point{pins[0]}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[p] || !pts[p] {
+			continue
+		}
+		visited[p] = true
+		for _, q := range []Point{
+			{p.X + 1, p.Y, p.L}, {p.X - 1, p.Y, p.L},
+			{p.X, p.Y + 1, p.L}, {p.X, p.Y - 1, p.L},
+			{p.X, p.Y, 1 - p.L},
+		} {
+			stack = append(stack, q)
+		}
+	}
+	for _, pin := range pins {
+		if !visited[pin] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMultiNetSharingBeatsIndependent(t *testing.T) {
+	// A 5-pin bus along one row: the tree should reuse the trunk.
+	g := NewGrid(30, 10, DefaultCost())
+	net := MultiNet{Name: "bus", Pins: []Point{
+		{X: 2, Y: 5, L: 0}, {X: 8, Y: 5, L: 0}, {X: 14, Y: 5, L: 0},
+		{X: 20, Y: 5, L: 0}, {X: 26, Y: 5, L: 0},
+	}}
+	tree, _, err := RouteMultiNet(g, net, AStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal trunk = 24 segments; allow slack but forbid star (72).
+	if wl := tree.Wirelength(); wl > 30 {
+		t.Errorf("bus tree wirelength %d, want near 24", wl)
+	}
+}
+
+func TestMultiNetWithObstacles(t *testing.T) {
+	g := NewGrid(15, 15, DefaultCost())
+	for y := 0; y < 14; y++ {
+		g.Block(Point{X: 7, Y: y, L: 0})
+		g.Block(Point{X: 7, Y: y, L: 1})
+	}
+	net := MultiNet{Name: "m", Pins: []Point{
+		{X: 2, Y: 2, L: 0}, {X: 12, Y: 2, L: 0}, {X: 2, Y: 12, L: 0},
+	}}
+	tree, _, err := RouteMultiNet(g, net, Dijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !treeConnected(tree, net.Pins) {
+		t.Error("tree not connected around obstacle")
+	}
+	for _, p := range tree.Points() {
+		if g.Blocked(p) {
+			t.Errorf("tree crosses obstacle at %v", p)
+		}
+	}
+}
+
+func TestMultiNetErrors(t *testing.T) {
+	g := NewGrid(5, 5, DefaultCost())
+	if _, _, err := RouteMultiNet(g, MultiNet{Name: "one", Pins: []Point{{X: 1, Y: 1, L: 0}}}, AStar); err == nil {
+		t.Error("1-pin net should fail")
+	}
+	if _, _, err := RouteMultiNet(g, MultiNet{Name: "off", Pins: []Point{{X: 1, Y: 1, L: 0}, {X: 9, Y: 9, L: 0}}}, AStar); err == nil {
+		t.Error("off-grid pin should fail")
+	}
+	// Walled-off pin.
+	for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		for l := 0; l < Layers; l++ {
+			p := Point{X: 3 + d[0], Y: 3 + d[1], L: l}
+			if g.In(p) {
+				g.Block(p)
+			}
+		}
+	}
+	g.Block(Point{X: 3, Y: 3, L: 1})
+	if _, _, err := RouteMultiNet(g, MultiNet{Name: "walled",
+		Pins: []Point{{X: 0, Y: 0, L: 0}, {X: 3, Y: 3, L: 0}}}, AStar); err == nil {
+		t.Error("walled pin should fail")
+	}
+}
+
+func TestRouteAllMulti(t *testing.T) {
+	g := NewGrid(25, 25, DefaultCost())
+	rng := rand.New(rand.NewSource(3))
+	var nets []MultiNet
+	for i := 0; i < 8; i++ {
+		k := 2 + rng.Intn(3)
+		pins := map[Point]bool{}
+		var list []Point
+		for len(list) < k {
+			p := Point{X: rng.Intn(25), Y: rng.Intn(25), L: 0}
+			if !pins[p] {
+				pins[p] = true
+				list = append(list, p)
+			}
+		}
+		nets = append(nets, MultiNet{Name: string(rune('a' + i)), Pins: list})
+	}
+	trees, failed := RouteAllMulti(g, nets, AStar)
+	if len(failed) > 1 {
+		t.Errorf("failed nets: %v", failed)
+	}
+	// Trees must be mutually disjoint.
+	used := map[Point]string{}
+	for name, tr := range trees {
+		for _, p := range tr.Points() {
+			if prev, clash := used[p]; clash {
+				t.Fatalf("trees %s and %s share %v", prev, name, p)
+			}
+			used[p] = name
+		}
+	}
+}
+
+func TestMultiNetDuplicatePins(t *testing.T) {
+	g := NewGrid(10, 10, DefaultCost())
+	net := MultiNet{Name: "dup", Pins: []Point{
+		{X: 1, Y: 1, L: 0}, {X: 5, Y: 5, L: 0}, {X: 1, Y: 1, L: 0},
+	}}
+	tree, _, err := RouteMultiNet(g, net, AStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !treeConnected(tree, []Point{{X: 1, Y: 1, L: 0}, {X: 5, Y: 5, L: 0}}) {
+		t.Error("tree with duplicate pins not connected")
+	}
+}

@@ -1,0 +1,58 @@
+package route
+
+import "strings"
+
+// Render draws one layer of the grid as ASCII art — the offline
+// substitute for the course's HTML5 browser layout viewer. Obstacles
+// print as '#', routed wire as the net's rune, vias as 'X', empty as
+// '.'.
+func Render(g *Grid, layer int, paths map[string]Path) string {
+	cell := make([][]rune, g.H)
+	for y := range cell {
+		cell[y] = make([]rune, g.W)
+		for x := range cell[y] {
+			if g.Blocked(Point{x, y, layer}) {
+				cell[y][x] = '#'
+			} else {
+				cell[y][x] = '.'
+			}
+		}
+	}
+	mark := 'a'
+	var names []string
+	for name := range paths {
+		names = append(names, name)
+	}
+	// Deterministic glyph assignment.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		p := paths[name]
+		for i, pt := range p {
+			via := (i > 0 && p[i-1].L != pt.L) || (i+1 < len(p) && p[i+1].L != pt.L)
+			if pt.L != layer && !via {
+				continue
+			}
+			if via {
+				cell[pt.Y][pt.X] = 'X'
+			} else {
+				cell[pt.Y][pt.X] = mark
+			}
+		}
+		mark++
+		if mark > 'z' {
+			mark = 'a'
+		}
+	}
+	var b strings.Builder
+	for y := g.H - 1; y >= 0; y-- { // y up, as in the course's viewer
+		b.WriteString(string(cell[y]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,400 @@
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Net is a two-pin connection request.
+type Net struct {
+	Name string
+	A, B Point
+}
+
+// Path is a routed net: the sequence of grid points from A to B.
+type Path []Point
+
+// Wirelength counts wire segments (excluding vias).
+func (p Path) Wirelength() int {
+	n := 0
+	for i := 1; i < len(p); i++ {
+		if p[i].L == p[i-1].L {
+			n++
+		}
+	}
+	return n
+}
+
+// Vias counts layer changes.
+func (p Path) Vias() int {
+	n := 0
+	for i := 1; i < len(p); i++ {
+		if p[i].L != p[i-1].L {
+			n++
+		}
+	}
+	return n
+}
+
+// Algorithm selects the search strategy.
+type Algorithm int
+
+const (
+	// Dijkstra is uniform-cost wave expansion (the weighted Lee maze).
+	Dijkstra Algorithm = iota
+	// AStar adds an admissible Manhattan-distance lower bound.
+	AStar
+)
+
+// pq is the expansion frontier.
+type pqItem struct {
+	p    Point
+	cost int // g-cost
+	prio int // g + heuristic
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RouteNet finds a minimum-cost path for one net on the current grid
+// (the net's own pins may be blocked by pin markers; they are treated
+// as usable). It returns the path, its cost, and the number of grid
+// vertices expanded.
+func RouteNet(g *Grid, net Net, alg Algorithm) (Path, int, int, error) {
+	if !g.In(net.A) || !g.In(net.B) {
+		return nil, 0, 0, fmt.Errorf("route: net %s pin off grid", net.Name)
+	}
+	usable := func(p Point) bool {
+		if p == net.A || p == net.B {
+			return g.In(p)
+		}
+		return !g.Blocked(p)
+	}
+	h := func(p Point) int {
+		if alg != AStar {
+			return 0
+		}
+		dx, dy := p.X-net.B.X, p.Y-net.B.Y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return g.Cost.Unit * (dx + dy)
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := [Layers][]int{}
+	prev := [Layers][]Point{}
+	done := [Layers][]bool{}
+	for l := 0; l < Layers; l++ {
+		dist[l] = make([]int, g.W*g.H)
+		prev[l] = make([]Point, g.W*g.H)
+		done[l] = make([]bool, g.W*g.H)
+		for i := range dist[l] {
+			dist[l][i] = inf
+		}
+	}
+	getD := func(p Point) int { return dist[p.L][g.idx(p)] }
+	setD := func(p Point, d int) { dist[p.L][g.idx(p)] = d }
+	setP := func(p, fr Point) { prev[p.L][g.idx(p)] = fr }
+	getP := func(p Point) Point { return prev[p.L][g.idx(p)] }
+	isDone := func(p Point) bool { return done[p.L][g.idx(p)] }
+	markDone := func(p Point) { done[p.L][g.idx(p)] = true }
+
+	frontier := &pq{{p: net.A, cost: 0, prio: h(net.A)}}
+	setD(net.A, 0)
+	expanded := 0
+	var nbuf []Point
+	for frontier.Len() > 0 {
+		it := heap.Pop(frontier).(pqItem)
+		if isDone(it.p) {
+			continue
+		}
+		markDone(it.p)
+		expanded++
+		if it.p == net.B {
+			// Backtrace.
+			var path Path
+			for p := net.B; ; p = getP(p) {
+				path = append(path, p)
+				if p == net.A {
+					break
+				}
+			}
+			// Reverse.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, it.cost, expanded, nil
+		}
+		nbuf = nbuf[:0]
+		for _, q := range [...]Point{
+			{it.p.X + 1, it.p.Y, it.p.L}, {it.p.X - 1, it.p.Y, it.p.L},
+			{it.p.X, it.p.Y + 1, it.p.L}, {it.p.X, it.p.Y - 1, it.p.L},
+			{it.p.X, it.p.Y, 1 - it.p.L},
+		} {
+			if !g.In(q) || !usable(q) || isDone(q) {
+				continue
+			}
+			sc := g.StepCost(it.p, q)
+			if sc < 0 {
+				continue
+			}
+			nd := it.cost + sc
+			if nd < getD(q) {
+				setD(q, nd)
+				setP(q, it.p)
+				heap.Push(frontier, pqItem{p: q, cost: nd, prio: nd + h(q)})
+			}
+		}
+	}
+	return nil, 0, expanded, fmt.Errorf("route: net %s unroutable", net.Name)
+}
+
+// Order selects the net-processing order for RouteAll.
+type Order int
+
+const (
+	// OrderGiven routes nets in input order.
+	OrderGiven Order = iota
+	// OrderShortFirst routes by increasing pin Manhattan distance —
+	// the course's recommended heuristic.
+	OrderShortFirst
+	// OrderLongFirst routes by decreasing distance (for ablation).
+	OrderLongFirst
+)
+
+// Opts configures RouteAll.
+type Opts struct {
+	Alg         Algorithm
+	Order       Order
+	RipupRounds int // extra rounds attempting failed nets (default 3)
+	Seed        int64
+}
+
+// Result reports a full routing run.
+type Result struct {
+	Paths    map[string]Path
+	Failed   []string
+	Length   int
+	Vias     int
+	Expanded int
+}
+
+// RouteAll routes every net, marking used cells as blocked for later
+// nets, then runs rip-up-and-reroute rounds on failures: each failed
+// net gets the blocking wires of one randomly chosen earlier net
+// ripped up, both are rerouted.
+func RouteAll(g *Grid, nets []Net, opts Opts) *Result {
+	if opts.RipupRounds == 0 {
+		opts.RipupRounds = 3
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := make([]int, len(nets))
+	for i := range order {
+		order[i] = i
+	}
+	manhattan := func(n Net) int {
+		dx, dy := n.A.X-n.B.X, n.A.Y-n.B.Y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	switch opts.Order {
+	case OrderShortFirst:
+		sort.SliceStable(order, func(i, j int) bool {
+			return manhattan(nets[order[i]]) < manhattan(nets[order[j]])
+		})
+	case OrderLongFirst:
+		sort.SliceStable(order, func(i, j int) bool {
+			return manhattan(nets[order[i]]) > manhattan(nets[order[j]])
+		})
+	}
+
+	// Reserve every net's pins up front so no wire may cross a foreign
+	// pin (each net's own pins remain usable to it: RouteNet treats
+	// the net's endpoints as free).
+	for i := range nets {
+		for _, p := range []Point{nets[i].A, nets[i].B} {
+			if g.In(p) && !g.Blocked(p) {
+				g.Block(p)
+			}
+		}
+	}
+	res := &Result{Paths: map[string]Path{}}
+	blockPath := func(p Path) {
+		for _, pt := range p {
+			g.Block(pt)
+		}
+	}
+	unblockPath := func(p Path) {
+		for _, pt := range p {
+			g.Unblock(pt)
+		}
+	}
+	routeOne := func(ni int) bool {
+		path, _, exp, err := RouteNet(g, nets[ni], opts.Alg)
+		res.Expanded += exp
+		if err != nil {
+			return false
+		}
+		res.Paths[nets[ni].Name] = path
+		blockPath(path)
+		return true
+	}
+	var failed []int
+	for _, ni := range order {
+		if !routeOne(ni) {
+			failed = append(failed, ni)
+		}
+	}
+	// candidates returns routed nets whose paths cross the failed
+	// net's bounding box (the likely blockers), falling back to all.
+	candidates := func(n Net) []string {
+		x0, x1 := n.A.X, n.B.X
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y0, y1 := n.A.Y, n.B.Y
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		margin := 2
+		var hit, all []string
+		for name, p := range res.Paths {
+			all = append(all, name)
+			for _, pt := range p {
+				if pt.X >= x0-margin && pt.X <= x1+margin && pt.Y >= y0-margin && pt.Y <= y1+margin {
+					hit = append(hit, name)
+					break
+				}
+			}
+		}
+		sort.Strings(hit)
+		sort.Strings(all)
+		if len(hit) > 0 {
+			return hit
+		}
+		return all
+	}
+	idxOf := map[string]int{}
+	for i := range nets {
+		idxOf[nets[i].Name] = i
+	}
+	for round := 0; round < opts.RipupRounds && len(failed) > 0; round++ {
+		var still []int
+		for _, ni := range failed {
+			names := candidates(nets[ni])
+			if len(names) == 0 {
+				still = append(still, ni)
+				continue
+			}
+			// Rip up every net crossing the failed net's bounding box,
+			// route the failed net first, then reroute the victims
+			// (shuffled). Keep the outcome only if the total routed
+			// count does not decrease; otherwise restore the old state.
+			before := len(res.Paths)
+			saved := map[string]Path{}
+			for _, name := range names {
+				saved[name] = res.Paths[name]
+				unblockPath(res.Paths[name])
+				delete(res.Paths, name)
+			}
+			order := append([]string(nil), names...)
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			ok := routeOne(ni)
+			var reFailed []int
+			for _, name := range order {
+				if !routeOne(idxOf[name]) {
+					reFailed = append(reFailed, idxOf[name])
+				}
+			}
+			after := len(res.Paths)
+			if !ok || after < before {
+				// Revert: drop everything routed in this attempt and
+				// restore the saved paths.
+				if ok {
+					unblockPath(res.Paths[nets[ni].Name])
+					delete(res.Paths, nets[ni].Name)
+				}
+				for _, name := range names {
+					if p, routed := res.Paths[name]; routed {
+						unblockPath(p)
+						delete(res.Paths, name)
+					}
+				}
+				for name, p := range saved {
+					res.Paths[name] = p
+					blockPath(p)
+				}
+				still = append(still, ni)
+				continue
+			}
+			still = append(still, reFailed...)
+		}
+		failed = still
+	}
+	for _, ni := range failed {
+		res.Failed = append(res.Failed, nets[ni].Name)
+	}
+	sort.Strings(res.Failed)
+	for _, p := range res.Paths {
+		res.Length += p.Wirelength()
+		res.Vias += p.Vias()
+	}
+	return res
+}
+
+// Validate checks that a path is a legal route for the net on an
+// obstacle grid: contiguous unit steps, endpoints matching the pins,
+// and no point on a blocked cell (pins excepted). This is exactly the
+// legality check the course auto-grader ran on submitted routes.
+func Validate(g *Grid, net Net, p Path) error {
+	if len(p) == 0 {
+		return fmt.Errorf("route: empty path for %s", net.Name)
+	}
+	if p[0] != net.A || p[len(p)-1] != net.B {
+		return fmt.Errorf("route: path endpoints %v..%v do not match pins %v..%v",
+			p[0], p[len(p)-1], net.A, net.B)
+	}
+	for i, pt := range p {
+		if !g.In(pt) {
+			return fmt.Errorf("route: point %v off grid", pt)
+		}
+		if pt != net.A && pt != net.B && g.Blocked(pt) {
+			return fmt.Errorf("route: point %v blocked", pt)
+		}
+		if i > 0 {
+			if sc := g.StepCost(p[i-1], pt); sc < 0 {
+				return fmt.Errorf("route: illegal step %v -> %v", p[i-1], pt)
+			}
+		}
+	}
+	return nil
+}
+
+// PathCost recomputes the cost of a path under the grid's cost model.
+func PathCost(g *Grid, p Path) int {
+	total := 0
+	for i := 1; i < len(p); i++ {
+		total += g.StepCost(p[i-1], p[i])
+	}
+	return total
+}

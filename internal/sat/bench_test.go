@@ -1,0 +1,63 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablations: the CDCL ingredients on pigeonhole and random 3-SAT.
+
+func benchPigeonhole(b *testing.B, opts Opts, n int) {
+	var conflicts int64
+	for i := 0; i < b.N; i++ {
+		s := NewWithOpts(opts)
+		pigeonhole(s, n+1, n)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP should be UNSAT")
+		}
+		conflicts = s.Stats().Conflicts
+	}
+	b.ReportMetric(float64(conflicts), "conflicts")
+}
+
+func BenchmarkPigeonholeCDCL(b *testing.B)       { benchPigeonhole(b, Opts{}, 7) }
+func BenchmarkPigeonholeNoLearning(b *testing.B) { benchPigeonhole(b, Opts{NoLearning: true}, 7) }
+func BenchmarkPigeonholeNoVSIDS(b *testing.B)    { benchPigeonhole(b, Opts{NoVSIDS: true}, 7) }
+func BenchmarkPigeonholeNoRestarts(b *testing.B) { benchPigeonhole(b, Opts{NoRestarts: true}, 7) }
+
+func benchRandom3SAT(b *testing.B, opts Opts, nvars int, ratio float64) {
+	rng := rand.New(rand.NewSource(77))
+	instances := make([][][]Lit, 10)
+	for k := range instances {
+		var cls [][]Lit
+		for c := 0; c < int(ratio*float64(nvars)); c++ {
+			var cl []Lit
+			for j := 0; j < 3; j++ {
+				v := rng.Intn(nvars)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, PosLit(v))
+				} else {
+					cl = append(cl, NegLit(v))
+				}
+			}
+			cls = append(cls, cl)
+		}
+		instances[k] = cls
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls := instances[i%len(instances)]
+		s := NewWithOpts(opts)
+		for v := 0; v < nvars; v++ {
+			s.NewVar()
+		}
+		for _, cl := range cls {
+			s.AddClause(cl...)
+		}
+		s.Solve()
+	}
+}
+
+func BenchmarkRandom3SATEasy(b *testing.B)    { benchRandom3SAT(b, Opts{}, 100, 3.0) }
+func BenchmarkRandom3SATPhase(b *testing.B)   { benchRandom3SAT(b, Opts{}, 60, 4.26) }
+func BenchmarkRandom3SATNoVSIDS(b *testing.B) { benchRandom3SAT(b, Opts{NoVSIDS: true}, 60, 4.26) }

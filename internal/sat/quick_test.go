@@ -1,0 +1,116 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests cross-checking the CDCL solver against brute force on
+// small instances.
+
+func bruteForce(nvars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(nvars); m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				v := m&(1<<uint(l.Var())) != 0
+				if l.Sign() {
+					v = !v
+				}
+				if v {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickSolverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		nvars := 2 + rng.Intn(6)
+		nclauses := 1 + rng.Intn(4*nvars)
+		var clauses [][]Lit
+		s := New()
+		for v := 0; v < nvars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < nclauses; c++ {
+			k := 1 + rng.Intn(3)
+			var cl []Lit
+			for j := 0; j < k; j++ {
+				v := rng.Intn(nvars)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, PosLit(v))
+				} else {
+					cl = append(cl, NegLit(v))
+				}
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForce(nvars, clauses)
+		got := s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v (%d vars, %d clauses)",
+				iter, got, want, nvars, nclauses)
+		}
+	}
+}
+
+func TestQuickAssumptionsConsistent(t *testing.T) {
+	// If Solve(assume l) is SAT then the model sets l accordingly, and
+	// Solve() afterwards is still decided identically.
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nvars := 3 + rng.Intn(4)
+		s := New()
+		for v := 0; v < nvars; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < 2*nvars; c++ {
+			var cl []Lit
+			for j := 0; j < 3; j++ {
+				v := rng.Intn(nvars)
+				if rng.Intn(2) == 0 {
+					cl = append(cl, PosLit(v))
+				} else {
+					cl = append(cl, NegLit(v))
+				}
+			}
+			cl = cl[:1+rng.Intn(3)]
+			s.AddClause(cl...)
+		}
+		a := PosLit(rng.Intn(nvars))
+		if rng.Intn(2) == 0 {
+			a = a.Neg()
+		}
+		if s.Solve(a) == Sat {
+			model := s.Model()
+			v := model[a.Var()]
+			if a.Sign() {
+				v = !v
+			}
+			if !v {
+				return false // model violates the assumption
+			}
+		}
+		// Solver must remain usable.
+		st := s.Solve()
+		return st == Sat || st == Unsat
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,320 @@
+package sat
+
+import "sort"
+
+// propagate performs unit propagation over the watched-literal lists.
+// It returns the conflicting clause, or nil if propagation reached a
+// fixed point.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p just became true
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal (¬p) sits at position 1.
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the other watch is true, the clause is satisfied.
+			if s.value(c.lits[0]) == 1 {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != 0 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == 0 {
+				// Conflict: keep remaining watchers and bail out.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail backwards to the next marked literal.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Compute backjump level: the max level among the other literals.
+	blevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		blevel = s.level[learnt[1].Var()]
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, blevel
+}
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == 1
+		s.assigns[v] = -1
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+}
+
+// bumpVar increases a variable's VSIDS activity.
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, d := range s.learnts {
+			d.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= 0.999 }
+
+// pickBranchVar selects the next decision variable.
+func (s *Solver) pickBranchVar() int {
+	if s.opts.NoVSIDS {
+		for v, a := range s.assigns {
+			if a < 0 {
+				return v
+			}
+		}
+		return -1
+	}
+	best, bestAct := -1, -1.0
+	for v, a := range s.assigns {
+		if a < 0 && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// reduceDB removes the least active half of the learned clauses,
+// keeping reasons of current assignments.
+func (s *Solver) reduceDB() {
+	locked := map[*clause]bool{}
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil {
+			locked[r] = true
+		}
+	}
+	sort.Slice(s.learnts, func(i, j int) bool { return s.learnts[i].act > s.learnts[j].act })
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if i < limit || locked[c] || len(c.lits) == 2 {
+			keep = append(keep, c)
+		} else {
+			s.detachClause(c)
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) detachClause(c *clause) {
+	for _, w := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[w]
+		for i, d := range ws {
+			if d == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// Solve runs the CDCL search under the given assumption literals and
+// returns the result. With no assumptions the result is a decision on
+// the whole formula.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	defer s.cancelUntil(0)
+
+	restartBudget := func() int64 {
+		if s.opts.NoRestarts {
+			return 1 << 62
+		}
+		s.lubyIdx++
+		return 100 * luby(s.lubyIdx)
+	}
+	conflictsAtRestart := s.stats.Conflicts
+	budget := restartBudget()
+	maxLearnts := int64(len(s.clauses)/3 + 100)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, blevel := s.analyze(confl)
+			s.cancelUntil(blevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				if !s.opts.NoLearning {
+					s.learnts = append(s.learnts, c)
+					s.watchClause(c)
+					s.bumpClause(c)
+					s.stats.Learned++
+				}
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayVar()
+			s.decayClause()
+			continue
+		}
+
+		if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+			return Unknown
+		}
+		if !s.opts.NoRestarts && s.stats.Conflicts-conflictsAtRestart >= budget {
+			s.stats.Restarts++
+			s.cancelUntil(len(assumptions))
+			conflictsAtRestart = s.stats.Conflicts
+			budget = restartBudget()
+		}
+		if int64(len(s.learnts)) > maxLearnts {
+			s.reduceDB()
+			maxLearnts += maxLearnts / 2
+		}
+
+		// Assumptions first, then free decisions.
+		var next Lit = -1
+		if dl := s.decisionLevel(); dl < len(assumptions) {
+			a := assumptions[dl]
+			switch s.value(a) {
+			case 1:
+				// Already satisfied; open an empty level to keep the
+				// level↔assumption correspondence.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case 0:
+				return Unsat // assumption conflicts with formula
+			default:
+				next = a
+			}
+		} else {
+			v := s.pickBranchVar()
+			if v < 0 {
+				// Full assignment: record the model.
+				s.model = make([]bool, s.NVars())
+				for i, a := range s.assigns {
+					s.model[i] = a == 1
+				}
+				return Sat
+			}
+			s.stats.Decisions++
+			if s.polarity[v] {
+				next = PosLit(v)
+			} else {
+				next = NegLit(v)
+			}
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		if d := s.decisionLevel(); d > s.stats.MaxDepth {
+			s.stats.MaxDepth = d
+		}
+		s.uncheckedEnqueue(next, nil)
+	}
+}

@@ -1,0 +1,42 @@
+package seq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMinimizeRandomFSM measures partition-refinement state
+// minimization on a random machine with planted redundancy.
+func BenchmarkMinimizeRandomFSM(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m := New("r", 2, 2)
+	const n = 40
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("q%d", i)
+	}
+	for i := range names {
+		next := make([]string, m.NSymbols())
+		out := make([]uint, m.NSymbols())
+		for s := range next {
+			// Half the states clone state i%20's behavior: redundancy.
+			base := i % 20
+			next[s] = names[(base*7+s*3)%20]
+			out[s] = uint((base + s) % 4)
+		}
+		if err := m.AddState(names[i], next, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = rng
+	var states int
+	for i := 0; i < b.N; i++ {
+		min, _, err := Minimize(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = len(min.States)
+	}
+	b.ReportMetric(float64(states), "min_states")
+}

@@ -1,0 +1,151 @@
+package seq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vlsicad/internal/cube"
+	"vlsicad/internal/espresso"
+	"vlsicad/internal/netlist"
+)
+
+// Encoding styles for state assignment.
+type Encoding int
+
+const (
+	// Binary uses ceil(log2 n) state bits in sorted-state order.
+	Binary Encoding = iota
+	// OneHot uses one bit per state.
+	OneHot
+)
+
+// Synthesize builds the combinational next-state/output logic of the
+// machine as a netlist.Network: inputs in0..in{k-1} and state bits
+// st0..; outputs ns0.. (next state bits) and out0.. (output bits).
+// Covers are espresso-minimized. The mapping from state name to code
+// is returned alongside.
+func Synthesize(m *FSM, enc Encoding) (*netlist.Network, map[string]uint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	states := append([]string(nil), m.States...)
+	sort.Strings(states)
+	var bits int
+	codes := map[string]uint{}
+	switch enc {
+	case OneHot:
+		bits = len(states)
+		for i, s := range states {
+			codes[s] = 1 << uint(i)
+		}
+	default:
+		bits = int(math.Ceil(math.Log2(float64(len(states)))))
+		if bits < 1 {
+			bits = 1
+		}
+		for i, s := range states {
+			codes[s] = uint(i)
+		}
+	}
+
+	nw := netlist.New(m.Name + "_logic")
+	total := m.NIn + bits
+	var fanins []string
+	for i := 0; i < m.NIn; i++ {
+		name := fmt.Sprintf("in%d", i)
+		nw.AddInput(name)
+		fanins = append(fanins, name)
+	}
+	for i := 0; i < bits; i++ {
+		name := fmt.Sprintf("st%d", i)
+		nw.AddInput(name)
+		fanins = append(fanins, name)
+	}
+
+	// On-set covers per next-state bit and per output bit; unused
+	// state codes are don't cares.
+	nsOn := make([]*cube.Cover, bits)
+	nsDC := make([]*cube.Cover, bits)
+	outOn := make([]*cube.Cover, m.NOut)
+	outDC := make([]*cube.Cover, m.NOut)
+	for i := range nsOn {
+		nsOn[i] = cube.NewCover(total)
+		nsDC[i] = cube.NewCover(total)
+	}
+	for i := range outOn {
+		outOn[i] = cube.NewCover(total)
+		outDC[i] = cube.NewCover(total)
+	}
+	usedCode := map[uint]bool{}
+	for _, s := range states {
+		usedCode[codes[s]] = true
+	}
+	rowCube := func(sym uint, code uint) cube.Cube {
+		c := cube.NewCube(total)
+		for i := 0; i < m.NIn; i++ {
+			if sym&(1<<uint(i)) != 0 {
+				c[i] = cube.Pos
+			} else {
+				c[i] = cube.Neg
+			}
+		}
+		for i := 0; i < bits; i++ {
+			if code&(1<<uint(i)) != 0 {
+				c[m.NIn+i] = cube.Pos
+			} else {
+				c[m.NIn+i] = cube.Neg
+			}
+		}
+		return c
+	}
+	for _, s := range states {
+		for sym := uint(0); sym < uint(m.NSymbols()); sym++ {
+			row := rowCube(sym, codes[s])
+			nc := codes[m.Next[s][sym]]
+			ov := m.Out[s][sym]
+			for b := 0; b < bits; b++ {
+				if nc&(1<<uint(b)) != 0 {
+					nsOn[b].Add(row.Clone())
+				}
+			}
+			for b := 0; b < m.NOut; b++ {
+				if ov&(1<<uint(b)) != 0 {
+					outOn[b].Add(row.Clone())
+				}
+			}
+		}
+	}
+	// Unused codes: don't care under every input symbol.
+	limit := uint(1) << uint(bits)
+	if bits <= 16 {
+		for code := uint(0); code < limit; code++ {
+			if usedCode[code] {
+				continue
+			}
+			for sym := uint(0); sym < uint(m.NSymbols()); sym++ {
+				row := rowCube(sym, code)
+				for b := 0; b < bits; b++ {
+					nsDC[b].Add(row.Clone())
+				}
+				for b := 0; b < m.NOut; b++ {
+					outDC[b].Add(row.Clone())
+				}
+			}
+		}
+	}
+
+	for b := 0; b < bits; b++ {
+		min, _ := espresso.Minimize(nsOn[b], nsDC[b])
+		name := fmt.Sprintf("ns%d", b)
+		nw.AddNode(name, fanins, min)
+		nw.AddOutput(name)
+	}
+	for b := 0; b < m.NOut; b++ {
+		min, _ := espresso.Minimize(outOn[b], outDC[b])
+		name := fmt.Sprintf("out%d", b)
+		nw.AddNode(name, fanins, min)
+		nw.AddOutput(name)
+	}
+	return nw, codes, nil
+}

@@ -1,0 +1,114 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Minimize returns the state-minimized machine (Moore–Hopcroft style
+// partition refinement over the reachable states) together with the
+// mapping from old state names to minimized class names.
+func Minimize(m *FSM) (*FSM, map[string]string, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	states := m.Reachable()
+
+	// Initial partition: states with identical output rows.
+	classOf := map[string]int{}
+	sig := map[string]int{}
+	next := 0
+	for _, s := range states {
+		key := outKey(m.Out[s])
+		id, ok := sig[key]
+		if !ok {
+			id = next
+			next++
+			sig[key] = id
+		}
+		classOf[s] = id
+	}
+
+	// Refine: split classes whose members disagree on successor
+	// classes under any symbol.
+	for {
+		refSig := map[string]int{}
+		newClass := map[string]int{}
+		next = 0
+		for _, s := range states {
+			var b strings.Builder
+			fmt.Fprintf(&b, "c%d", classOf[s])
+			for sym := 0; sym < m.NSymbols(); sym++ {
+				fmt.Fprintf(&b, ",%d", classOf[m.Next[s][sym]])
+			}
+			key := b.String()
+			id, ok := refSig[key]
+			if !ok {
+				id = next
+				next++
+				refSig[key] = id
+			}
+			newClass[s] = id
+		}
+		same := true
+		for _, s := range states {
+			if newClass[s] != classOf[s] {
+				same = false
+				break
+			}
+		}
+		classOf = newClass
+		if same {
+			break
+		}
+	}
+
+	// Build the minimized machine; class names use the first member
+	// (in sorted order) as the representative.
+	rep := map[int]string{}
+	for _, s := range states {
+		c := classOf[s]
+		if r, ok := rep[c]; !ok || s < r {
+			rep[c] = s
+		}
+	}
+	var classes []int
+	for c := range rep {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return rep[classes[i]] < rep[classes[j]] })
+
+	min := New(m.Name+"_min", m.NIn, m.NOut)
+	// Ensure the reset class is added first so it becomes the reset.
+	resetClass := classOf[m.Reset]
+	order := []int{resetClass}
+	for _, c := range classes {
+		if c != resetClass {
+			order = append(order, c)
+		}
+	}
+	for _, c := range order {
+		r := rep[c]
+		nextRow := make([]string, m.NSymbols())
+		for sym := 0; sym < m.NSymbols(); sym++ {
+			nextRow[sym] = rep[classOf[m.Next[r][sym]]]
+		}
+		if err := min.AddState(r, nextRow, m.Out[r]); err != nil {
+			return nil, nil, err
+		}
+	}
+	mapping := map[string]string{}
+	for _, s := range states {
+		mapping[s] = rep[classOf[s]]
+	}
+	return min, mapping, nil
+}
+
+func outKey(row []uint) string {
+	var b strings.Builder
+	for _, o := range row {
+		fmt.Fprintf(&b, "%d,", o)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// detector11 builds the classic "detect two consecutive 1s" Mealy
+// machine with a deliberately redundant extra state.
+func detector11(t *testing.T, redundant bool) *FSM {
+	t.Helper()
+	m := New("det11", 1, 1)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// s0: no 1 seen; s1: one 1 seen.
+	must(m.AddState("s0", []string{"s0", "s1"}, []uint{0, 0}))
+	must(m.AddState("s1", []string{"s0", "s2"}, []uint{0, 1}))
+	// s2 behaves exactly like s1 (redundant).
+	if redundant {
+		must(m.AddState("s2", []string{"s0", "s2"}, []uint{0, 1}))
+	} else {
+		m.Next["s1"][1] = "s1"
+	}
+	return m
+}
+
+func TestValidateAndStep(t *testing.T) {
+	m := detector11(t, true)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, o := m.Step("s0", 1)
+	if s != "s1" || o != 0 {
+		t.Errorf("step = %s/%d", s, o)
+	}
+	// Run: 1,1,0,1,1 -> outputs 0,1,0,0,1.
+	out := m.Run([]uint{1, 1, 0, 1, 1})
+	want := []uint{0, 1, 0, 0, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Run = %v, want %v", out, want)
+		}
+	}
+	bad := New("bad", 1, 1)
+	if err := bad.AddState("a", []string{"a"}, []uint{0}); err == nil {
+		t.Error("short rows should fail")
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty machine should fail validation")
+	}
+}
+
+func TestMinimizeMergesEquivalentStates(t *testing.T) {
+	m := detector11(t, true)
+	min, mapping, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.States) != 2 {
+		t.Fatalf("minimized to %d states, want 2", len(min.States))
+	}
+	if mapping["s1"] != mapping["s2"] {
+		t.Error("s1 and s2 should merge")
+	}
+	eq, path, err := Equivalent(m, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("minimized machine differs (sequence %v)", path)
+	}
+}
+
+func TestMinimizeDropsUnreachable(t *testing.T) {
+	m := detector11(t, false)
+	// Add an unreachable state.
+	if err := m.AddState("ghost", []string{"ghost", "ghost"}, []uint{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	min, _, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range min.States {
+		if s == "ghost" {
+			t.Error("unreachable state survived minimization")
+		}
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := detector11(t, false)
+	b := detector11(t, false)
+	// Flip one output.
+	b.Out["s1"][1] = 0
+	eq, path, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("machines should differ")
+	}
+	// The distinguishing sequence must really distinguish them.
+	oa := a.Run(path)
+	ob := b.Run(path)
+	same := true
+	for i := range oa {
+		if oa[i] != ob[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("sequence %v does not distinguish", path)
+	}
+	// Interface mismatch.
+	c := New("c", 2, 1)
+	if _, _, err := Equivalent(a, c); err == nil {
+		t.Error("interface mismatch should error")
+	}
+}
+
+func TestSynthesizeBinaryMatchesMachine(t *testing.T) {
+	m := detector11(t, true)
+	nw, codes, err := Synthesize(m, Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Walk the machine and the logic side by side on random input
+	// sequences.
+	rng := rand.New(rand.NewSource(8))
+	state := m.Reset
+	for step := 0; step < 200; step++ {
+		sym := uint(rng.Intn(m.NSymbols()))
+		in := map[string]bool{}
+		for i := 0; i < m.NIn; i++ {
+			in[keyOf("in", i)] = sym&(1<<uint(i)) != 0
+		}
+		code := codes[state]
+		bits := len(nw.Inputs) - m.NIn
+		for i := 0; i < bits; i++ {
+			in[keyOf("st", i)] = code&(1<<uint(i)) != 0
+		}
+		val, err := nw.Eval(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextState, out := m.Step(state, sym)
+		// Check outputs.
+		for b := 0; b < m.NOut; b++ {
+			want := out&(1<<uint(b)) != 0
+			if val[keyOf("out", b)] != want {
+				t.Fatalf("step %d: out%d = %v, want %v", step, b, val[keyOf("out", b)], want)
+			}
+		}
+		// Check next-state code.
+		var got uint
+		for b := 0; b < bits; b++ {
+			if val[keyOf("ns", b)] {
+				got |= 1 << uint(b)
+			}
+		}
+		if got != codes[nextState] {
+			t.Fatalf("step %d: next code %b, want %b (%s)", step, got, codes[nextState], nextState)
+		}
+		state = nextState
+	}
+}
+
+func TestSynthesizeOneHot(t *testing.T) {
+	m := detector11(t, false)
+	nw, codes, err := Synthesize(m, OneHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-hot: codes are powers of two and distinct.
+	seen := map[uint]bool{}
+	for s, c := range codes {
+		if c == 0 || c&(c-1) != 0 {
+			t.Errorf("state %s code %b not one-hot", s, c)
+		}
+		if seen[c] {
+			t.Errorf("duplicate code %b", c)
+		}
+		seen[c] = true
+	}
+	if err := nw.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizedLogicIsSmaller(t *testing.T) {
+	m := detector11(t, true)
+	min, _, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Synthesize(m, Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _, err := Synthesize(min, Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Literals() > full.Literals() {
+		t.Errorf("minimized FSM logic (%d lits) larger than original (%d)",
+			small.Literals(), full.Literals())
+	}
+}
+
+func keyOf(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

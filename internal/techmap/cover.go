@@ -1,0 +1,309 @@
+package techmap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Objective selects the covering cost function.
+type Objective int
+
+const (
+	// MinArea minimizes total gate area.
+	MinArea Objective = iota
+	// MinDelay minimizes the worst output arrival time under the
+	// library's gate delays.
+	MinDelay
+)
+
+// Match is one chosen gate instance in the cover.
+type Match struct {
+	Gate   string
+	Root   int   // subject node implemented by the gate output
+	Leaves []int // subject nodes feeding the gate pins
+}
+
+// Result is a completed mapping.
+type Result struct {
+	Matches []Match
+	Area    float64
+	Delay   float64 // worst output arrival under the chosen cover
+}
+
+// sol is the per-node dynamic-programming entry.
+type sol struct {
+	cost   float64
+	gate   int
+	leaves []int
+}
+
+// Map covers the subject graph with library gates using dynamic
+// programming per tree: trees are split at multi-fanout points, whose
+// roots become free leaves of the trees that consume them, exactly as
+// the course presents tree covering.
+func Map(s *Subject, lib []Gate, obj Objective) (*Result, error) {
+	if len(lib) == 0 {
+		return nil, fmt.Errorf("techmap: empty library")
+	}
+	boundary := func(id int) bool {
+		n := s.Nodes[id]
+		return n.Kind == KInput || s.Fanout(id) > 1
+	}
+
+	best := make([]sol, len(s.Nodes))
+	for i := range best {
+		best[i] = sol{cost: math.Inf(1), gate: -1}
+	}
+
+	// matchAt overlays a pattern on the subject graph rooted at id,
+	// collecting the subject nodes under the pattern's pins.
+	var matchAt func(p *Pattern, id int, leaves *[]int) bool
+	matchAt = func(p *Pattern, id int, leaves *[]int) bool {
+		switch p.Kind {
+		case KInput:
+			*leaves = append(*leaves, id)
+			return true
+		case KInv:
+			n := s.Nodes[id]
+			if n.Kind != KInv {
+				return false
+			}
+			return matchAt(p.A, n.A, leaves)
+		default: // KNand
+			n := s.Nodes[id]
+			if n.Kind != KNand {
+				return false
+			}
+			save := len(*leaves)
+			if matchAt(p.A, n.A, leaves) && matchAt(p.B, n.B, leaves) {
+				return true
+			}
+			*leaves = (*leaves)[:save]
+			if matchAt(p.A, n.B, leaves) && matchAt(p.B, n.A, leaves) {
+				return true
+			}
+			*leaves = (*leaves)[:save]
+			return false
+		}
+	}
+
+	// Nodes are created children-first, so id order is topological.
+	for id := range s.Nodes {
+		n := s.Nodes[id]
+		if n.Kind == KInput {
+			best[id] = sol{cost: 0, gate: -1}
+			continue
+		}
+		for gi, g := range lib {
+			var leaves []int
+			if !matchAt(g.Pat, id, &leaves) {
+				continue
+			}
+			// Nodes strictly inside the match must have a single
+			// fanout; otherwise shared logic would be duplicated.
+			if !internalNodesFree(s, g.Pat, id, boundary) {
+				continue
+			}
+			var cost float64
+			if obj == MinDelay {
+				worst := 0.0
+				for _, leaf := range leaves {
+					if a := best[leaf].cost; s.Nodes[leaf].Kind != KInput && a > worst {
+						worst = a
+					}
+				}
+				cost = worst + g.Delay
+			} else {
+				cost = g.Area
+				for _, leaf := range leaves {
+					// A boundary (multi-fanout) leaf's area is paid
+					// once when its own tree is emitted; inside one
+					// tree the child's DP cost folds in.
+					if s.Nodes[leaf].Kind != KInput && !boundary(leaf) {
+						cost += best[leaf].cost
+					}
+				}
+			}
+			if cost < best[id].cost {
+				best[id] = sol{cost: cost, gate: gi, leaves: leaves}
+			}
+		}
+		if best[id].gate < 0 {
+			return nil, fmt.Errorf("techmap: node %d unmatchable with library", id)
+		}
+	}
+
+	// Emit matches reachable from the roots.
+	res := &Result{}
+	emitted := map[int]bool{}
+	var emit func(id int)
+	emit = func(id int) {
+		if emitted[id] || s.Nodes[id].Kind == KInput {
+			return
+		}
+		emitted[id] = true
+		b := best[id]
+		g := lib[b.gate]
+		res.Matches = append(res.Matches, Match{Gate: g.Name, Root: id, Leaves: b.leaves})
+		res.Area += g.Area
+		for _, leaf := range b.leaves {
+			emit(leaf)
+		}
+	}
+	var rootIDs []int
+	for _, r := range s.Roots {
+		rootIDs = append(rootIDs, r)
+	}
+	sort.Ints(rootIDs)
+	for _, r := range rootIDs {
+		emit(r)
+	}
+	res.Delay = mappedDelay(s, lib, best, rootIDs)
+	sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i].Root < res.Matches[j].Root })
+	return res, nil
+}
+
+// internalNodesFree checks that every subject node strictly inside the
+// pattern match (not the root, not under a pin) has a single fanout.
+func internalNodesFree(s *Subject, p *Pattern, id int, boundary func(int) bool) bool {
+	var walk func(p *Pattern, sid int, isRoot bool) bool
+	walk = func(p *Pattern, sid int, isRoot bool) bool {
+		if p.Kind == KInput {
+			return true
+		}
+		if !isRoot && boundary(sid) {
+			return false
+		}
+		n := s.Nodes[sid]
+		switch p.Kind {
+		case KInv:
+			if n.Kind != KInv {
+				return false
+			}
+			return walk(p.A, n.A, false)
+		default:
+			if n.Kind != KNand {
+				return false
+			}
+			if walk(p.A, n.A, false) && walk(p.B, n.B, false) {
+				return true
+			}
+			return walk(p.A, n.B, false) && walk(p.B, n.A, false)
+		}
+	}
+	return walk(p, id, true)
+}
+
+// mappedDelay computes the worst root arrival with a forward pass over
+// the chosen matches.
+func mappedDelay(s *Subject, lib []Gate, best []sol, roots []int) float64 {
+	arr := map[int]float64{}
+	var at func(id int) float64
+	at = func(id int) float64 {
+		if s.Nodes[id].Kind == KInput {
+			return 0
+		}
+		if v, ok := arr[id]; ok {
+			return v
+		}
+		b := best[id]
+		worst := 0.0
+		for _, leaf := range b.leaves {
+			if a := at(leaf); a > worst {
+				worst = a
+			}
+		}
+		v := worst + lib[b.gate].Delay
+		arr[id] = v
+		return v
+	}
+	worst := 0.0
+	for _, r := range roots {
+		if a := at(r); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// EvalMapping simulates the mapped gates on one input assignment and
+// returns each root's value — used to verify that mapping preserved
+// the function.
+func EvalMapping(s *Subject, res *Result, inputs map[string]bool) map[string]bool {
+	// The match set covers exactly the subject nodes; gate semantics
+	// equal subject semantics by construction, so simulating the
+	// subject graph suffices — but we simulate gate-by-gate to test
+	// the cover itself.
+	gateOf := map[int]Match{}
+	for _, mt := range res.Matches {
+		gateOf[mt.Root] = mt
+	}
+	memo := map[int]bool{}
+	var val func(id int) bool
+	val = func(id int) bool {
+		n := s.Nodes[id]
+		if n.Kind == KInput {
+			return leafValue(n.Name, inputs)
+		}
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		mt, ok := gateOf[id]
+		if !ok {
+			// Node interior to some gate: fall back to subject logic.
+			switch n.Kind {
+			case KInv:
+				return !val(n.A)
+			default:
+				return !(val(n.A) && val(n.B))
+			}
+		}
+		// Evaluate the gate's pattern over its leaf values.
+		var g *Gate
+		lib := StandardLibrary()
+		for i := range lib {
+			if lib[i].Name == mt.Gate {
+				g = &lib[i]
+				break
+			}
+		}
+		if g == nil {
+			lib = MinimalLibrary()
+			for i := range lib {
+				if lib[i].Name == mt.Gate {
+					g = &lib[i]
+					break
+				}
+			}
+		}
+		leafVals := make([]bool, len(mt.Leaves))
+		for i, leaf := range mt.Leaves {
+			leafVals[i] = val(leaf)
+		}
+		idx := 0
+		v := evalPattern(g.Pat, leafVals, &idx)
+		memo[id] = v
+		return v
+	}
+	out := map[string]bool{}
+	for name, r := range s.Roots {
+		out[name] = val(r)
+	}
+	return out
+}
+
+func evalPattern(p *Pattern, leaves []bool, idx *int) bool {
+	switch p.Kind {
+	case KInput:
+		v := leaves[*idx]
+		*idx++
+		return v
+	case KInv:
+		return !evalPattern(p.A, leaves, idx)
+	default:
+		a := evalPattern(p.A, leaves, idx)
+		b := evalPattern(p.B, leaves, idx)
+		return !(a && b)
+	}
+}

@@ -1,0 +1,123 @@
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"vlsicad/internal/cube"
+	"vlsicad/internal/netlist"
+)
+
+// ToNetwork exports a mapping as a gate-level netlist.Network: one
+// node per emitted gate whose cover is the gate's truth table over its
+// pins. This lets the mapped design be formally verified against the
+// pre-mapping network with the Week-2 equivalence checkers.
+func ToNetwork(s *Subject, res *Result, lib []Gate, name string, inputs, outputs []string) (*netlist.Network, error) {
+	gateByName := map[string]*Gate{}
+	for i := range lib {
+		gateByName[lib[i].Name] = &lib[i]
+	}
+	nw := netlist.New(name)
+	for _, in := range inputs {
+		nw.AddInput(in)
+	}
+	sig := func(id int) string {
+		n := s.Nodes[id]
+		if n.Kind == KInput {
+			return n.Name
+		}
+		return fmt.Sprintf("n%d", id)
+	}
+	// Constant leaves become constant nodes on demand.
+	needConst := map[string]bool{}
+	matches := append([]Match(nil), res.Matches...)
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Root < matches[j].Root })
+	for _, m := range matches {
+		g, ok := gateByName[m.Gate]
+		if !ok {
+			return nil, fmt.Errorf("techmap: unknown gate %q in mapping", m.Gate)
+		}
+		fanins := make([]string, len(m.Leaves))
+		for i, leaf := range m.Leaves {
+			fanins[i] = sig(leaf)
+			if fanins[i] == "$const0" || fanins[i] == "$const1" {
+				needConst[fanins[i]] = true
+			}
+		}
+		cov, err := patternCover(g.Pat, len(m.Leaves))
+		if err != nil {
+			return nil, fmt.Errorf("techmap: gate %s: %v", m.Gate, err)
+		}
+		nw.AddNode(sig(m.Root), fanins, cov)
+	}
+	for cname := range needConst {
+		if cname == "$const1" {
+			nw.AddNode(cname, nil, cube.Universal(0))
+		} else {
+			nw.AddNode(cname, nil, cube.NewCover(0))
+		}
+	}
+	// Outputs: alias the mapped roots under their original names.
+	for _, out := range outputs {
+		root, ok := s.Roots[out]
+		if !ok {
+			return nil, fmt.Errorf("techmap: no root for output %q", out)
+		}
+		src := sig(root)
+		nw.AddOutput(out)
+		if src == out {
+			continue
+		}
+		// Buffer node under the output name.
+		buf := cube.NewCover(1)
+		c := cube.NewCube(1)
+		c[0] = cube.Pos
+		buf.Add(c)
+		if src == "$const0" || src == "$const1" {
+			needConst[src] = true
+			if nw.Nodes[src] == nil {
+				if src == "$const1" {
+					nw.AddNode(src, nil, cube.Universal(0))
+				} else {
+					nw.AddNode(src, nil, cube.NewCover(0))
+				}
+			}
+		}
+		nw.AddNode(out, []string{src}, buf)
+	}
+	if err := nw.Check(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// patternCover enumerates the gate pattern's truth table over its
+// pins and returns the SOP cover of the on-set.
+func patternCover(p *Pattern, pins int) (*cube.Cover, error) {
+	if got := p.Pins(); got != pins {
+		return nil, fmt.Errorf("pattern has %d pins, match lists %d leaves", got, pins)
+	}
+	if pins > 8 {
+		return nil, fmt.Errorf("pattern with %d pins too wide", pins)
+	}
+	cov := cube.NewCover(pins)
+	vals := make([]bool, pins)
+	for m := 0; m < 1<<uint(pins); m++ {
+		for i := range vals {
+			vals[i] = m&(1<<uint(i)) != 0
+		}
+		idx := 0
+		if evalPattern(p, vals, &idx) {
+			c := cube.NewCube(pins)
+			for i, v := range vals {
+				if v {
+					c[i] = cube.Pos
+				} else {
+					c[i] = cube.Neg
+				}
+			}
+			cov.Add(c)
+		}
+	}
+	return cov, nil
+}

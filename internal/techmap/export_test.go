@@ -1,0 +1,129 @@
+package techmap
+
+import (
+	"testing"
+
+	"vlsicad/internal/bench"
+	"vlsicad/internal/netlist"
+)
+
+func TestToNetworkEquivalentToSource(t *testing.T) {
+	for _, obj := range []Objective{MinArea, MinDelay} {
+		s, nw := subject(t, adderBLIF)
+		res, err := Map(s, StandardLibrary(), obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := ToNetwork(s, res, StandardLibrary(), "mapped", nw.Inputs, nw.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := netlist.EquivalentBDD(nw, mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("objective %v: mapped netlist not equivalent to source", obj)
+		}
+		eq2, witness, err := netlist.EquivalentSAT(nw, mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq2 {
+			t.Fatalf("objective %v: SAT check failed (witness %v)", obj, witness)
+		}
+	}
+}
+
+func TestToNetworkWithConstants(t *testing.T) {
+	src := `
+.model c
+.inputs a
+.outputs f
+.names one
+1
+.names a one f
+11 1
+.end
+`
+	s, nw := subject(t, src)
+	res, err := Map(s, StandardLibrary(), MinArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := ToNetwork(s, res, StandardLibrary(), "mc", nw.Inputs, nw.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := netlist.EquivalentBDD(nw, mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("constant-carrying mapping not equivalent")
+	}
+}
+
+func TestToNetworkFeedthrough(t *testing.T) {
+	// Output driven directly by an input (after sweeping, the root is
+	// the input leaf itself).
+	src := `
+.model ft
+.inputs a b
+.outputs f g
+.names a f
+1 1
+.names a b g
+11 1
+.end
+`
+	s, nw := subject(t, src)
+	res, err := Map(s, StandardLibrary(), MinArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := ToNetwork(s, res, StandardLibrary(), "ft2", nw.Inputs, nw.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := netlist.EquivalentBDD(nw, mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("feedthrough mapping not equivalent")
+	}
+}
+
+func TestToNetworkRandomNetworks(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		nw := bench.Network(bench.NetworkSpec{
+			Name: "m", Inputs: 6, Nodes: 20, Outputs: 3,
+		}, seed)
+		s, err := FromNetwork(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Map(s, StandardLibrary(), MinArea)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := ToNetwork(s, res, StandardLibrary(), "mm", nw.Inputs, nw.Outputs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eq, witness, err := netlist.EquivalentSAT(nw, mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("seed %d: mapping changed the function (witness %v)", seed, witness)
+		}
+	}
+}
+
+func TestPatternCoverWidthMismatch(t *testing.T) {
+	if _, err := patternCover(pinv(pin()), 3); err == nil {
+		t.Error("pin-count mismatch should fail")
+	}
+}

@@ -1,0 +1,261 @@
+// Package techmap implements technology mapping by dynamic-programming
+// tree covering — the course's Week-5 topic. A Boolean network is
+// decomposed into a NAND2/INV subject graph, partitioned into trees at
+// multi-fanout points, and each tree is covered with minimum-cost
+// library-gate patterns (minimum area, or minimum delay).
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"vlsicad/internal/cube"
+	"vlsicad/internal/netlist"
+)
+
+// Kind is the subject-graph node type.
+type Kind uint8
+
+const (
+	// KInput is a subject-graph leaf: a primary input or a constant.
+	KInput Kind = iota
+	// KInv is an inverter.
+	KInv
+	// KNand is a two-input NAND.
+	KNand
+)
+
+// SNode is one subject-graph vertex.
+type SNode struct {
+	ID   int
+	Kind Kind
+	Name string // for KInput: the signal name
+	A, B int    // child ids (A only for KInv)
+}
+
+// Subject is a NAND2/INV DAG with named roots (one per primary
+// output).
+type Subject struct {
+	Nodes []SNode
+	Roots map[string]int // output name -> node id
+	// fanout counts, filled by Freeze.
+	fanout []int
+}
+
+// NewSubject returns an empty subject graph.
+func NewSubject() *Subject {
+	return &Subject{Roots: map[string]int{}}
+}
+
+// Input adds (or reuses) an input leaf for the named signal.
+func (s *Subject) Input(name string) int {
+	for _, n := range s.Nodes {
+		if n.Kind == KInput && n.Name == name {
+			return n.ID
+		}
+	}
+	id := len(s.Nodes)
+	s.Nodes = append(s.Nodes, SNode{ID: id, Kind: KInput, Name: name})
+	return id
+}
+
+// Inv adds an inverter over a, with structural hashing.
+func (s *Subject) Inv(a int) int {
+	for _, n := range s.Nodes {
+		if n.Kind == KInv && n.A == a {
+			return n.ID
+		}
+	}
+	id := len(s.Nodes)
+	s.Nodes = append(s.Nodes, SNode{ID: id, Kind: KInv, A: a})
+	return id
+}
+
+// Nand adds a NAND2 over (a, b), with commutative structural hashing.
+func (s *Subject) Nand(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	for _, n := range s.Nodes {
+		if n.Kind == KNand && n.A == a && n.B == b {
+			return n.ID
+		}
+	}
+	id := len(s.Nodes)
+	s.Nodes = append(s.Nodes, SNode{ID: id, Kind: KNand, A: a, B: b})
+	return id
+}
+
+// And builds AND as INV(NAND(a,b)).
+func (s *Subject) And(a, b int) int { return s.Inv(s.Nand(a, b)) }
+
+// Or builds OR as NAND(INV(a), INV(b)).
+func (s *Subject) Or(a, b int) int { return s.Nand(s.Inv(a), s.Inv(b)) }
+
+// Freeze computes fanout counts (used for tree partitioning).
+func (s *Subject) Freeze() {
+	s.fanout = make([]int, len(s.Nodes))
+	for _, n := range s.Nodes {
+		switch n.Kind {
+		case KInv:
+			s.fanout[n.A]++
+		case KNand:
+			s.fanout[n.A]++
+			s.fanout[n.B]++
+		}
+	}
+	for _, r := range s.Roots {
+		s.fanout[r]++ // outputs count as fanout
+	}
+}
+
+// Fanout returns node id's fanout count (Freeze must have run).
+func (s *Subject) Fanout(id int) int { return s.fanout[id] }
+
+// Eval computes every node under the given input assignment. The
+// constant leaves $const0/$const1 evaluate to themselves regardless of
+// the assignment.
+func (s *Subject) Eval(inputs map[string]bool) []bool {
+	val := make([]bool, len(s.Nodes))
+	for _, n := range s.Nodes {
+		switch n.Kind {
+		case KInput:
+			val[n.ID] = leafValue(n.Name, inputs)
+		case KInv:
+			val[n.ID] = !val[n.A]
+		case KNand:
+			val[n.ID] = !(val[n.A] && val[n.B])
+		}
+	}
+	return val
+}
+
+// FromNetwork decomposes a combinational network into a NAND2/INV
+// subject graph. Each node's SOP becomes a product-of-cubes / sum tree
+// built with balanced AND/OR reductions.
+func FromNetwork(nw *netlist.Network) (*Subject, error) {
+	s := NewSubject()
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	sig := map[string]int{}
+	for _, in := range nw.Inputs {
+		sig[in] = s.Input(in)
+	}
+	for _, n := range order {
+		id, err := s.buildCover(n, sig)
+		if err != nil {
+			return nil, err
+		}
+		sig[n.Name] = id
+	}
+	for _, o := range nw.Outputs {
+		id, ok := sig[o]
+		if !ok {
+			return nil, fmt.Errorf("techmap: output %s undriven", o)
+		}
+		s.Roots[o] = id
+	}
+	s.Freeze()
+	return s, nil
+}
+
+func (s *Subject) buildCover(n *netlist.Node, sig map[string]int) (int, error) {
+	if n.Cover.IsEmpty() {
+		return s.constNode(false), nil
+	}
+	var terms []int
+	for _, c := range n.Cover.Cubes {
+		var lits []int
+		for i, l := range c {
+			child, ok := sig[n.Fanins[i]]
+			if !ok {
+				return 0, fmt.Errorf("techmap: node %s reads unknown signal %s", n.Name, n.Fanins[i])
+			}
+			switch l {
+			case cube.Pos:
+				lits = append(lits, child)
+			case cube.Neg:
+				lits = append(lits, s.Inv(child))
+			case cube.Void:
+				lits = nil
+			}
+		}
+		if len(lits) == 0 {
+			if c.IsUniversal() {
+				return s.constNode(true), nil
+			}
+			continue
+		}
+		terms = append(terms, s.balanced(lits, s.And))
+	}
+	if len(terms) == 0 {
+		return s.constNode(false), nil
+	}
+	return s.balanced(terms, s.Or), nil
+}
+
+// constNode models constants as a dedicated input leaf; mapping treats
+// them as free leaves and the course netlists rarely need them.
+func (s *Subject) constNode(v bool) int {
+	if v {
+		return s.Input("$const1")
+	}
+	return s.Input("$const0")
+}
+
+// leafValue resolves an input leaf, giving the constant leaves their
+// fixed values.
+func leafValue(name string, inputs map[string]bool) bool {
+	switch name {
+	case "$const1":
+		return true
+	case "$const0":
+		return false
+	default:
+		return inputs[name]
+	}
+}
+
+// balanced reduces ids pairwise with op to keep trees shallow.
+func (s *Subject) balanced(ids []int, op func(a, b int) int) int {
+	for len(ids) > 1 {
+		var next []int
+		for i := 0; i+1 < len(ids); i += 2 {
+			next = append(next, op(ids[i], ids[i+1]))
+		}
+		if len(ids)%2 == 1 {
+			next = append(next, ids[len(ids)-1])
+		}
+		ids = next
+	}
+	return ids[0]
+}
+
+// Stats returns counts by node kind.
+func (s *Subject) Stats() (inputs, invs, nands int) {
+	for _, n := range s.Nodes {
+		switch n.Kind {
+		case KInput:
+			inputs++
+		case KInv:
+			invs++
+		case KNand:
+			nands++
+		}
+	}
+	return
+}
+
+// InputNames lists the distinct leaf names, sorted.
+func (s *Subject) InputNames() []string {
+	var out []string
+	for _, n := range s.Nodes {
+		if n.Kind == KInput {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

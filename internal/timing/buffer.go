@@ -1,0 +1,54 @@
+package timing
+
+import "math"
+
+// Buffer insertion on long RC lines — the classic consequence of
+// Elmore's quadratic growth: splitting a wire of length L into k
+// buffered segments makes delay linear in L for the right k.
+
+// Buffer is a repeater characterization.
+type Buffer struct {
+	Delay float64 // intrinsic delay
+	R     float64 // output resistance
+	C     float64 // input capacitance
+}
+
+// LineDelayWithBuffers returns the Elmore delay of a wire of the
+// given length split into k equal segments with a buffer driving each
+// (k >= 1; the first "buffer" models the driver).
+func LineDelayWithBuffers(rPerUnit, cPerUnit float64, length float64, buf Buffer, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	seg := length / float64(k)
+	rw := rPerUnit * seg
+	cw := cPerUnit * seg
+	// Per-segment Elmore: buffer drives its own R into the segment
+	// wire plus the next buffer's input cap.
+	per := buf.Delay + buf.R*(cw+buf.C) + rw*(cw/2+buf.C)
+	return float64(k) * per
+}
+
+// OptimalBuffers returns the buffer count minimizing the line delay
+// (closed form k* = L·sqrt(rc / (2·Rb·Cb... )) rounded to the best
+// integer neighbor) along with the achieved delay.
+func OptimalBuffers(rPerUnit, cPerUnit float64, length float64, buf Buffer) (int, float64) {
+	// d(k) = k·T + k·Rb·(cw+Cb) + k·rw·(cw/2+Cb) with rw=rL/k, cw=cL/k:
+	// d(k) = k·(T + Rb·Cb) + Rb·c·L + r·L·Cb + (r·c·L²)/(2k).
+	// Minimize over k: k* = L·sqrt(r·c / (2(T + Rb·Cb))).
+	a := buf.Delay + buf.R*buf.C
+	if a <= 0 {
+		return 1, LineDelayWithBuffers(rPerUnit, cPerUnit, length, buf, 1)
+	}
+	kStar := length * math.Sqrt(rPerUnit*cPerUnit/(2*a))
+	best, bestD := 1, LineDelayWithBuffers(rPerUnit, cPerUnit, length, buf, 1)
+	for _, k := range []int{int(math.Floor(kStar)), int(math.Ceil(kStar))} {
+		if k < 1 {
+			k = 1
+		}
+		if d := LineDelayWithBuffers(rPerUnit, cPerUnit, length, buf, k); d < bestD {
+			best, bestD = k, d
+		}
+	}
+	return best, bestD
+}

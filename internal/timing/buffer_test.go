@@ -1,0 +1,65 @@
+package timing
+
+import "testing"
+
+func stdBuf() Buffer { return Buffer{Delay: 1, R: 0.5, C: 0.5} }
+
+func TestBufferedDelayBeatsUnbufferedOnLongLines(t *testing.T) {
+	const r, c = 0.1, 0.2
+	long := 200.0
+	unbuf := LineDelayWithBuffers(r, c, long, stdBuf(), 1)
+	k, opt := OptimalBuffers(r, c, long, stdBuf())
+	if k <= 1 {
+		t.Fatalf("long line should want buffers, got k=%d", k)
+	}
+	if opt >= unbuf {
+		t.Errorf("buffered delay %g should beat unbuffered %g", opt, unbuf)
+	}
+}
+
+func TestShortLineWantsNoBuffers(t *testing.T) {
+	k, _ := OptimalBuffers(0.1, 0.2, 2, stdBuf())
+	if k != 1 {
+		t.Errorf("short line optimal k = %d, want 1", k)
+	}
+}
+
+func TestOptimalIsLocalMinimum(t *testing.T) {
+	const r, c = 0.05, 0.1
+	for _, length := range []float64{50, 120, 400} {
+		k, d := OptimalBuffers(r, c, length, stdBuf())
+		if k > 1 {
+			if dm := LineDelayWithBuffers(r, c, length, stdBuf(), k-1); dm < d {
+				t.Errorf("L=%g: k-1 better (%g < %g)", length, dm, d)
+			}
+		}
+		if dp := LineDelayWithBuffers(r, c, length, stdBuf(), k+1); dp < d {
+			t.Errorf("L=%g: k+1 better (%g < %g)", length, dp, d)
+		}
+	}
+}
+
+func TestBufferedDelayLinearInLength(t *testing.T) {
+	// With optimal buffering, doubling the length roughly doubles the
+	// delay (vs quadratic unbuffered).
+	const r, c = 0.1, 0.2
+	_, d1 := OptimalBuffers(r, c, 200, stdBuf())
+	_, d2 := OptimalBuffers(r, c, 400, stdBuf())
+	ratio := d2 / d1
+	if ratio > 2.5 {
+		t.Errorf("buffered delay ratio %g, want ~2 (linear)", ratio)
+	}
+	// Unbuffered is clearly superlinear.
+	u1 := LineDelayWithBuffers(r, c, 200, stdBuf(), 1)
+	u2 := LineDelayWithBuffers(r, c, 400, stdBuf(), 1)
+	if u2/u1 < 3 {
+		t.Errorf("unbuffered ratio %g, want ~4 (quadratic)", u2/u1)
+	}
+}
+
+func TestDegenerateBuffer(t *testing.T) {
+	k, _ := OptimalBuffers(0.1, 0.2, 100, Buffer{})
+	if k != 1 {
+		t.Errorf("zero-cost buffer should fall back to k=1, got %d", k)
+	}
+}

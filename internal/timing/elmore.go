@@ -1,0 +1,102 @@
+package timing
+
+import "fmt"
+
+// Elmore delay for RC interconnect trees — the course's wire-delay
+// model. The tree is rooted at the driver; each node carries the
+// resistance of the wire segment from its parent and its own
+// capacitance (wire plus any sink load).
+
+// RCNode is one node of the RC tree.
+type RCNode struct {
+	Name   string
+	Parent int     // index of parent; -1 for the root
+	R      float64 // resistance from parent to this node (driver resistance for the root)
+	C      float64 // capacitance at this node
+}
+
+// RCTree is an interconnect tree in parent-pointer form. Node 0 must
+// be the root (the driver output).
+type RCTree struct {
+	Nodes []RCNode
+}
+
+// Validate checks tree shape.
+func (t *RCTree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("timing: empty RC tree")
+	}
+	if t.Nodes[0].Parent != -1 {
+		return fmt.Errorf("timing: node 0 must be the root")
+	}
+	for i := 1; i < len(t.Nodes); i++ {
+		p := t.Nodes[i].Parent
+		if p < 0 || p >= i {
+			return fmt.Errorf("timing: node %d has invalid parent %d (must precede it)", i, p)
+		}
+		if t.Nodes[i].R < 0 || t.Nodes[i].C < 0 {
+			return fmt.Errorf("timing: node %d has negative R or C", i)
+		}
+	}
+	return nil
+}
+
+// Elmore returns the Elmore delay at every node, using the classic
+// two-pass algorithm: subtree capacitances bottom-up, then
+// delay(v) = delay(parent) + R(v)·Csubtree(v) top-down, with
+// delay(root) = Rdriver·Ctotal.
+func (t *RCTree) Elmore() ([]float64, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(t.Nodes)
+	csub := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		csub[i] += t.Nodes[i].C
+		if p := t.Nodes[i].Parent; p >= 0 {
+			csub[p] += csub[i]
+		}
+	}
+	delay := make([]float64, n)
+	delay[0] = t.Nodes[0].R * csub[0]
+	for i := 1; i < n; i++ {
+		delay[i] = delay[t.Nodes[i].Parent] + t.Nodes[i].R*csub[i]
+	}
+	return delay, nil
+}
+
+// WireRC builds a uniform RC line of the given length (in grid units)
+// divided into segments, with per-unit resistance and capacitance and
+// a lumped sink load at the end — the model course homeworks used for
+// routed nets.
+func WireRC(rDriver, rPerUnit, cPerUnit float64, length, segments int, cLoad float64) *RCTree {
+	if segments < 1 {
+		segments = 1
+	}
+	t := &RCTree{}
+	t.Nodes = append(t.Nodes, RCNode{Name: "drv", Parent: -1, R: rDriver, C: 0})
+	segLen := float64(length) / float64(segments)
+	for i := 1; i <= segments; i++ {
+		c := cPerUnit * segLen
+		if i == segments {
+			c += cLoad
+		}
+		t.Nodes = append(t.Nodes, RCNode{
+			Name:   fmt.Sprintf("s%d", i),
+			Parent: i - 1,
+			R:      rPerUnit * segLen,
+			C:      c,
+		})
+	}
+	return t
+}
+
+// SinkDelay returns the Elmore delay at the last node of the tree
+// (convenience for WireRC lines).
+func (t *RCTree) SinkDelay() (float64, error) {
+	d, err := t.Elmore()
+	if err != nil {
+		return 0, err
+	}
+	return d[len(d)-1], nil
+}

@@ -1,0 +1,95 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the Elmore model.
+
+// randomTree builds a random valid RC tree with n nodes.
+func randomTree(rng *rand.Rand, n int) *RCTree {
+	t := &RCTree{}
+	t.Nodes = append(t.Nodes, RCNode{Name: "drv", Parent: -1, R: 0.1 + rng.Float64(), C: 0})
+	for i := 1; i < n; i++ {
+		t.Nodes = append(t.Nodes, RCNode{
+			Name:   "n",
+			Parent: rng.Intn(i),
+			R:      0.01 + rng.Float64(),
+			C:      0.01 + rng.Float64(),
+		})
+	}
+	return t
+}
+
+func TestQuickElmoreProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(20)
+		tr := randomTree(rng, n)
+		d, err := tr.Elmore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Delays are positive and children are never faster than their
+		// parents (monotone along root-to-leaf paths).
+		for i, node := range tr.Nodes {
+			if d[i] <= 0 {
+				t.Fatalf("iter %d: non-positive delay %g", iter, d[i])
+			}
+			if node.Parent >= 0 && d[i] < d[node.Parent] {
+				t.Fatalf("iter %d: child %d faster than parent", iter, i)
+			}
+		}
+		// Adding capacitance anywhere never speeds anything up.
+		k := rng.Intn(n)
+		tr2 := &RCTree{Nodes: append([]RCNode(nil), tr.Nodes...)}
+		tr2.Nodes[k].C += 1
+		d2, err := tr2.Elmore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range d {
+			if d2[i] < d[i]-1e-12 {
+				t.Fatalf("iter %d: extra C at %d sped up node %d", iter, k, i)
+			}
+		}
+	}
+}
+
+func TestQuickSTAArrivalMonotone(t *testing.T) {
+	// Increasing any gate delay never decreases any arrival time.
+	fn := func(d1, d2, d3 uint8) bool {
+		mk := func(bump float64) *Report {
+			g := &Graph{
+				PIArrival:  map[string]float64{"a": 0, "b": 0},
+				PORequired: map[string]float64{"z": 100},
+				Gates: []Gate{
+					{Name: "g1", Output: "x", Inputs: []string{"a"}, Delay: float64(d1%16) + 1},
+					{Name: "g2", Output: "y", Inputs: []string{"b", "x"}, Delay: float64(d2%16) + 1 + bump},
+					{Name: "g3", Output: "z", Inputs: []string{"y", "x"}, Delay: float64(d3%16) + 1},
+				},
+			}
+			rep, err := Analyze(g)
+			if err != nil {
+				return nil
+			}
+			return rep
+		}
+		base := mk(0)
+		bumped := mk(5)
+		if base == nil || bumped == nil {
+			return false
+		}
+		for sig, st := range base.Signals {
+			if bumped.Signals[sig].Arrival < st.Arrival-1e-12 {
+				return false
+			}
+		}
+		return bumped.MaxArrival >= base.MaxArrival
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

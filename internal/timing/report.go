@@ -1,0 +1,80 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Reporting helpers for the STA results: the slack histogram and the
+// formatted timing table the sta tool prints.
+
+// SlackHistogram buckets all finite slacks into the given number of
+// equal-width bins between the worst and best slack. It returns the
+// counts and the bin edges (len(edges) = buckets + 1).
+func (r *Report) SlackHistogram(buckets int) (counts []int, edges []float64) {
+	if buckets < 1 {
+		buckets = 1
+	}
+	var slacks []float64
+	for _, st := range r.Signals {
+		if !math.IsInf(st.Slack, 0) {
+			slacks = append(slacks, st.Slack)
+		}
+	}
+	counts = make([]int, buckets)
+	edges = make([]float64, buckets+1)
+	if len(slacks) == 0 {
+		return counts, edges
+	}
+	lo, hi := slacks[0], slacks[0]
+	for _, s := range slacks {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(buckets)
+	}
+	for _, s := range slacks {
+		b := int(float64(buckets) * (s - lo) / (hi - lo))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// String renders the timing report as the course's text table:
+// critical path first, then signals by ascending slack.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "max arrival %.3f, worst slack %.3f\n", r.MaxArrival, r.WorstSlack)
+	fmt.Fprintf(&b, "critical path: %s\n", strings.Join(r.CriticalPath, " -> "))
+	type row struct {
+		name string
+		st   SignalTiming
+	}
+	var rows []row
+	for name, st := range r.Signals {
+		rows = append(rows, row{name, st})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].st.Slack != rows[j].st.Slack {
+			return rows[i].st.Slack < rows[j].st.Slack
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, rw := range rows {
+		slack := fmt.Sprintf("%8.3f", rw.st.Slack)
+		if math.IsInf(rw.st.Slack, 1) {
+			slack = "     inf"
+		}
+		fmt.Fprintf(&b, "  %-16s arrival %8.3f  slack %s\n", rw.name, rw.st.Arrival, slack)
+	}
+	return b.String()
+}

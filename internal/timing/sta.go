@@ -1,0 +1,198 @@
+// Package timing implements the course's Week-8 material: logic-level
+// static timing analysis (arrival / required / slack, critical path)
+// over gate graphs, and Elmore delay for RC interconnect trees.
+package timing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Gate is one delay element: output = f(inputs) with a single
+// pin-to-pin delay (the course's simple gate model).
+type Gate struct {
+	Name   string
+	Output string
+	Inputs []string
+	Delay  float64
+}
+
+// Graph is a combinational timing graph.
+type Graph struct {
+	// PIArrival gives each primary input's arrival time; inputs are
+	// exactly the keys of this map.
+	PIArrival map[string]float64
+	// PORequired gives each primary output's required time; outputs
+	// are exactly the keys of this map.
+	PORequired map[string]float64
+	Gates      []Gate
+}
+
+// SignalTiming is the per-signal STA result.
+type SignalTiming struct {
+	Arrival  float64
+	Required float64
+	Slack    float64
+}
+
+// Report is a completed analysis.
+type Report struct {
+	Signals      map[string]SignalTiming
+	CriticalPath []string // signal names from a PI to a PO
+	WorstSlack   float64
+	MaxArrival   float64
+}
+
+// Analyze runs static timing analysis: a forward pass computes
+// arrivals (max over fanins + gate delay), a backward pass computes
+// required times (min over fanouts), and slack is their difference.
+func Analyze(g *Graph) (*Report, error) {
+	driver := map[string]*Gate{}
+	for i := range g.Gates {
+		gt := &g.Gates[i]
+		if _, dup := driver[gt.Output]; dup {
+			return nil, fmt.Errorf("timing: signal %q driven twice", gt.Output)
+		}
+		if _, isPI := g.PIArrival[gt.Output]; isPI {
+			return nil, fmt.Errorf("timing: gate drives primary input %q", gt.Output)
+		}
+		driver[gt.Output] = gt
+	}
+	// Topological order by DFS from outputs and all gates.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []*Gate
+	var visit func(sig string) error
+	visit = func(sig string) error {
+		if _, isPI := g.PIArrival[sig]; isPI {
+			return nil
+		}
+		switch color[sig] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("timing: combinational cycle through %q", sig)
+		}
+		gt, ok := driver[sig]
+		if !ok {
+			return fmt.Errorf("timing: signal %q undriven", sig)
+		}
+		color[sig] = gray
+		for _, in := range gt.Inputs {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		color[sig] = black
+		order = append(order, gt)
+		return nil
+	}
+	var roots []string
+	for po := range g.PORequired {
+		roots = append(roots, po)
+	}
+	sort.Strings(roots)
+	var gateOuts []string
+	for out := range driver {
+		gateOuts = append(gateOuts, out)
+	}
+	sort.Strings(gateOuts)
+	roots = append(roots, gateOuts...)
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+
+	arrival := map[string]float64{}
+	for pi, t := range g.PIArrival {
+		arrival[pi] = t
+	}
+	critFanin := map[string]string{}
+	for _, gt := range order {
+		worst := math.Inf(-1)
+		worstIn := ""
+		for _, in := range gt.Inputs {
+			a, ok := arrival[in]
+			if !ok {
+				return nil, fmt.Errorf("timing: gate %s reads unknown signal %s", gt.Name, in)
+			}
+			if a > worst {
+				worst, worstIn = a, in
+			}
+		}
+		if len(gt.Inputs) == 0 {
+			worst = 0
+		}
+		arrival[gt.Output] = worst + gt.Delay
+		critFanin[gt.Output] = worstIn
+	}
+
+	maxArr := math.Inf(-1)
+	for po := range g.PORequired {
+		a, ok := arrival[po]
+		if !ok {
+			return nil, fmt.Errorf("timing: output %q undriven", po)
+		}
+		if a > maxArr {
+			maxArr = a
+		}
+	}
+
+	// Backward pass.
+	required := map[string]float64{}
+	for sig := range arrival {
+		required[sig] = math.Inf(1)
+	}
+	for po, rt := range g.PORequired {
+		required[po] = math.Min(required[po], rt)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		gt := order[i]
+		r := required[gt.Output] - gt.Delay
+		for _, in := range gt.Inputs {
+			if r < required[in] {
+				required[in] = r
+			}
+		}
+	}
+
+	rep := &Report{Signals: map[string]SignalTiming{}, MaxArrival: maxArr, WorstSlack: math.Inf(1)}
+	for sig, a := range arrival {
+		r := required[sig]
+		s := r - a
+		rep.Signals[sig] = SignalTiming{Arrival: a, Required: r, Slack: s}
+		if s < rep.WorstSlack && !math.IsInf(r, 1) {
+			rep.WorstSlack = s
+		}
+	}
+
+	// Critical path: trace back from the worst-arrival output.
+	worstPO := ""
+	for po := range g.PORequired {
+		if worstPO == "" || arrival[po] > arrival[worstPO] ||
+			(arrival[po] == arrival[worstPO] && po < worstPO) {
+			worstPO = po
+		}
+	}
+	if worstPO != "" {
+		var path []string
+		for sig := worstPO; sig != ""; {
+			path = append(path, sig)
+			if _, isPI := g.PIArrival[sig]; isPI {
+				break
+			}
+			sig = critFanin[sig]
+		}
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		rep.CriticalPath = path
+	}
+	return rep, nil
+}

@@ -1,0 +1,264 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func chainGraph() *Graph {
+	// a -> g1 -> n1 -> g2 -> n2 -> g3 -> out, each delay 1;
+	// b joins at g2 with arrival 0.
+	return &Graph{
+		PIArrival:  map[string]float64{"a": 0, "b": 0},
+		PORequired: map[string]float64{"out": 5},
+		Gates: []Gate{
+			{Name: "g1", Output: "n1", Inputs: []string{"a"}, Delay: 1},
+			{Name: "g2", Output: "n2", Inputs: []string{"n1", "b"}, Delay: 1},
+			{Name: "g3", Output: "out", Inputs: []string{"n2"}, Delay: 1},
+		},
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	rep, err := Analyze(chainGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxArrival != 3 {
+		t.Errorf("MaxArrival = %g, want 3", rep.MaxArrival)
+	}
+	if got := rep.Signals["out"]; got.Arrival != 3 || got.Required != 5 || got.Slack != 2 {
+		t.Errorf("out timing = %+v", got)
+	}
+	// b is less critical than a: its slack is larger.
+	if rep.Signals["b"].Slack <= rep.Signals["a"].Slack {
+		t.Errorf("slack(b)=%g should exceed slack(a)=%g",
+			rep.Signals["b"].Slack, rep.Signals["a"].Slack)
+	}
+	if rep.WorstSlack != 2 {
+		t.Errorf("WorstSlack = %g", rep.WorstSlack)
+	}
+	// Critical path a -> n1 -> n2 -> out.
+	want := []string{"a", "n1", "n2", "out"}
+	if len(rep.CriticalPath) != len(want) {
+		t.Fatalf("critical path = %v", rep.CriticalPath)
+	}
+	for i := range want {
+		if rep.CriticalPath[i] != want[i] {
+			t.Fatalf("critical path = %v, want %v", rep.CriticalPath, want)
+		}
+	}
+}
+
+func TestAnalyzeNegativeSlack(t *testing.T) {
+	g := chainGraph()
+	g.PORequired["out"] = 2
+	rep, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorstSlack != -1 {
+		t.Errorf("WorstSlack = %g, want -1", rep.WorstSlack)
+	}
+}
+
+func TestAnalyzeInputArrivalSkews(t *testing.T) {
+	g := chainGraph()
+	g.PIArrival["b"] = 10 // late side input dominates g2
+	rep, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxArrival != 12 {
+		t.Errorf("MaxArrival = %g, want 12", rep.MaxArrival)
+	}
+	if rep.CriticalPath[0] != "b" {
+		t.Errorf("critical path should start at b: %v", rep.CriticalPath)
+	}
+}
+
+func TestAnalyzeReconvergence(t *testing.T) {
+	// Diamond: a feeds two paths of different length reconverging.
+	g := &Graph{
+		PIArrival:  map[string]float64{"a": 0},
+		PORequired: map[string]float64{"z": 100},
+		Gates: []Gate{
+			{Name: "s", Output: "s", Inputs: []string{"a"}, Delay: 1},
+			{Name: "f1", Output: "p", Inputs: []string{"s"}, Delay: 1},
+			{Name: "f2a", Output: "q1", Inputs: []string{"s"}, Delay: 2},
+			{Name: "f2b", Output: "q", Inputs: []string{"q1"}, Delay: 2},
+			{Name: "j", Output: "z", Inputs: []string{"p", "q"}, Delay: 1},
+		},
+	}
+	rep, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long path: 1+2+2+1 = 6.
+	if rep.MaxArrival != 6 {
+		t.Errorf("MaxArrival = %g, want 6", rep.MaxArrival)
+	}
+	// p has slack: required(p) = required(z)-1, arrival(p)=2.
+	if rep.Signals["p"].Slack <= rep.Signals["q"].Slack {
+		t.Error("short branch should have more slack")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cyclic := &Graph{
+		PIArrival:  map[string]float64{"a": 0},
+		PORequired: map[string]float64{"z": 1},
+		Gates: []Gate{
+			{Name: "g1", Output: "x", Inputs: []string{"z"}, Delay: 1},
+			{Name: "g2", Output: "z", Inputs: []string{"x"}, Delay: 1},
+		},
+	}
+	if _, err := Analyze(cyclic); err == nil {
+		t.Error("cycle should fail")
+	}
+	undriven := &Graph{
+		PIArrival:  map[string]float64{"a": 0},
+		PORequired: map[string]float64{"z": 1},
+	}
+	if _, err := Analyze(undriven); err == nil {
+		t.Error("undriven output should fail")
+	}
+	doubleDriven := &Graph{
+		PIArrival:  map[string]float64{"a": 0},
+		PORequired: map[string]float64{"z": 1},
+		Gates: []Gate{
+			{Name: "g1", Output: "z", Inputs: []string{"a"}, Delay: 1},
+			{Name: "g2", Output: "z", Inputs: []string{"a"}, Delay: 2},
+		},
+	}
+	if _, err := Analyze(doubleDriven); err == nil {
+		t.Error("double-driven signal should fail")
+	}
+}
+
+func TestSlackHistogramAndString(t *testing.T) {
+	rep, err := Analyze(chainGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, edges := rep.SlackHistogram(4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(rep.Signals) {
+		t.Errorf("histogram covers %d signals of %d", total, len(rep.Signals))
+	}
+	if len(edges) != 5 {
+		t.Errorf("edges = %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] < edges[i-1] {
+			t.Error("edges not monotone")
+		}
+	}
+	s := rep.String()
+	if !strings.Contains(s, "critical path: a -> n1 -> n2 -> out") {
+		t.Errorf("report:\n%s", s)
+	}
+	// Degenerate: zero buckets clamp to one.
+	c1, _ := rep.SlackHistogram(0)
+	if len(c1) != 1 {
+		t.Error("bucket clamp failed")
+	}
+}
+
+func TestElmoreLine(t *testing.T) {
+	// Classic 2-segment line: Rd=1, two segments R=1 C=1 each.
+	// csub(root)=2, csub(1)=2, csub(2)=1.
+	// delay(root) = 1*2 = 2; delay(1) = 2 + 1*2 = 4; delay(2) = 4 + 1*1 = 5.
+	tr := &RCTree{Nodes: []RCNode{
+		{Name: "drv", Parent: -1, R: 1, C: 0},
+		{Name: "m", Parent: 0, R: 1, C: 1},
+		{Name: "sink", Parent: 1, R: 1, C: 1},
+	}}
+	d, err := tr.Elmore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 5}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Errorf("delay[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+func TestElmoreBranching(t *testing.T) {
+	// Root with two branches; shared resistance only at the driver.
+	tr := &RCTree{Nodes: []RCNode{
+		{Name: "drv", Parent: -1, R: 2, C: 0},
+		{Name: "l", Parent: 0, R: 1, C: 3},
+		{Name: "r", Parent: 0, R: 4, C: 5},
+	}}
+	d, err := tr.Elmore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ctotal = 8; delay(root) = 16; delay(l) = 16 + 1*3 = 19;
+	// delay(r) = 16 + 4*5 = 36.
+	if d[0] != 16 || d[1] != 19 || d[2] != 36 {
+		t.Errorf("delays = %v", d)
+	}
+}
+
+func TestElmoreQuadraticInLength(t *testing.T) {
+	// Unsegmented-wire Elmore delay grows quadratically with length —
+	// the course's signature plot.
+	d10, err := WireRC(1, 0.1, 0.2, 10, 10, 1).SinkDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d20, err := WireRC(1, 0.1, 0.2, 20, 20, 1).SinkDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d40, err := WireRC(1, 0.1, 0.2, 40, 40, 1).SinkDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio of wire-dominated deltas should approach 4x per doubling.
+	r1 := (d40 - d20) / (d20 - d10)
+	if r1 < 2.5 {
+		t.Errorf("wire delay not superlinear: d10=%g d20=%g d40=%g (ratio %g)", d10, d20, d40, r1)
+	}
+}
+
+func TestElmoreSegmentationConverges(t *testing.T) {
+	coarse, _ := WireRC(1, 0.1, 0.2, 10, 1, 0).SinkDelay()
+	fine, _ := WireRC(1, 0.1, 0.2, 10, 100, 0).SinkDelay()
+	finer, _ := WireRC(1, 0.1, 0.2, 10, 200, 0).SinkDelay()
+	if math.Abs(fine-finer) > math.Abs(coarse-finer) {
+		t.Errorf("segmentation should converge: coarse=%g fine=%g finer=%g", coarse, fine, finer)
+	}
+}
+
+func TestRCTreeValidation(t *testing.T) {
+	bad := &RCTree{Nodes: []RCNode{{Parent: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("root with parent 0 should fail")
+	}
+	bad2 := &RCTree{Nodes: []RCNode{
+		{Parent: -1, R: 1},
+		{Parent: 5, R: 1, C: 1},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("forward parent reference should fail")
+	}
+	if err := (&RCTree{}).Validate(); err == nil {
+		t.Error("empty tree should fail")
+	}
+	bad3 := &RCTree{Nodes: []RCNode{
+		{Parent: -1, R: 1},
+		{Parent: 0, R: -1, C: 1},
+	}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative R should fail")
+	}
+}
