@@ -1,0 +1,21 @@
+# Standard pre-merge gate: `make check` must be green before merging.
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

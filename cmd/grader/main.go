@@ -9,6 +9,11 @@
 //	grader tautology <cubes...> yes|no  grade a tautology verdict
 //	grader placement -case fract        grade a Project 3 placement (stdin)
 //	grader routing -case fract -seed 1  grade Project 4 routes (stdin)
+//	grader batch urp <on-set cubes...>  grade many submissions (stdin, separated
+//	                                    by "---" lines) and print the batch
+//	                                    summary: per-unit pass rates, the
+//	                                    earned/possible distribution, and the
+//	                                    grading telemetry snapshot
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"vlsicad/internal/cube"
 	"vlsicad/internal/grader"
 	"vlsicad/internal/netlist"
+	"vlsicad/internal/obs"
 	"vlsicad/internal/place"
 	"vlsicad/internal/repair"
 )
@@ -46,6 +52,15 @@ func main() {
 	switch os.Args[1] {
 	case "battery":
 		fmt.Print(grader.RunRouterBattery(grader.ReferenceRouter))
+	case "batch":
+		if len(os.Args) < 4 || os.Args[2] != "urp" {
+			usage()
+		}
+		on, err := cube.ParseCover(os.Args[3:])
+		if err != nil {
+			fatal(err)
+		}
+		runBatch(on, readStdin())
 	case "urp":
 		if len(os.Args) < 3 {
 			usage()
@@ -115,6 +130,48 @@ func main() {
 	}
 }
 
+// runBatch grades every "---"-separated submission as a URP
+// complement of the on-set, then prints each report, the aggregate
+// batch summary, and the grading telemetry.
+func runBatch(on *cube.Cover, input string) {
+	ob := obs.NewObserver(nil)
+	batch := grader.NewBatch("Project 1: URP complement")
+	for i, sub := range splitSubmissions(input) {
+		rep := grader.GradeURPComplement(on, sub)
+		fmt.Printf("--- submission %d ---\n%s", i+1, rep)
+		batch.Add(rep)
+	}
+	batch.Record(ob)
+	fmt.Println()
+	fmt.Print(batch)
+	fmt.Println("\n=== grading telemetry ===")
+	ob.Snapshot().WriteText(os.Stdout)
+}
+
+// splitSubmissions cuts stdin into submissions at lines containing
+// only "---" (surrounding whitespace ignored); empty records are
+// dropped.
+func splitSubmissions(input string) []string {
+	var subs []string
+	var cur []string
+	flush := func() {
+		text := strings.TrimSpace(strings.Join(cur, "\n"))
+		if text != "" {
+			subs = append(subs, text)
+		}
+		cur = cur[:0]
+	}
+	for _, line := range strings.Split(input, "\n") {
+		if strings.TrimSpace(line) == "---" {
+			flush()
+			continue
+		}
+		cur = append(cur, line)
+	}
+	flush()
+	return subs
+}
+
 func findCase(name string) *bench.Case {
 	for _, bc := range bench.Suite() {
 		if bc.Name == name {
@@ -146,6 +203,7 @@ func usage() {
   grader tautology <cubes...> yes|no
   grader repair                         (replacement cover on stdin)
   grader placement -case NAME -seed N   (submission on stdin)
-  grader routing -case NAME -seed N     (submission on stdin)`)
+  grader routing -case NAME -seed N     (submission on stdin)
+  grader batch urp <on-set cubes...>    (submissions on stdin, "---"-separated)`)
 	os.Exit(2)
 }

@@ -1,19 +1,24 @@
 // Command moocsim regenerates the paper's figures as text tables:
 // the concept map (Figure 1), the lecture catalog (Figure 2), the
 // engagement funnel (Figure 8), per-lecture viewership (Figure 9),
-// demographics (Figure 10) and the survey word cloud (Figure 11).
+// demographics (Figure 10) and the survey word cloud (Figure 11) —
+// plus a grading-telemetry report (-fig telemetry) aggregating
+// machine grading across a cohort sample, with the obs metrics
+// snapshot the live course staff would watch.
 //
 // Usage:
 //
-//	moocsim [-fig all|1|2|8|9|10|11] [-seed N]
+//	moocsim [-fig all|1|2|8|9|10|11|telemetry] [-seed N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"vlsicad/internal/mooc"
+	"vlsicad/internal/obs"
 )
 
 func main() {
@@ -102,5 +107,14 @@ func main() {
 			}
 			fmt.Printf("  %-14s %4d\n", w.Word, w.Count)
 		}
+		fmt.Println()
+	}
+	if show("telemetry") {
+		fmt.Println("=== Section 2.2: grading telemetry (200-participant sample) ===")
+		ob := obs.NewObserver(nil)
+		tel := mooc.SimulateGrading(cohort, 4, 200, 3, 0.8, *seed, ob)
+		fmt.Print(tel)
+		fmt.Println("  metrics snapshot:")
+		ob.Snapshot().Metrics.WriteText(os.Stdout)
 	}
 }

@@ -2,20 +2,26 @@
 // miniature: a participant submits text jobs to the five deployed EDA
 // tools, a runaway job is terminated, the auto-grader scores a Project
 // 4 submission, and the per-user result history scrolls newest-first.
+// Every job feeds the portal's telemetry, printed as a report at the
+// end — the operational view the paper's cloud deployment ran on.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"vlsicad/internal/grader"
+	"vlsicad/internal/obs"
 	"vlsicad/internal/portal"
 	"vlsicad/internal/route"
 )
 
 func main() {
+	ob := obs.NewObserver(nil)
 	p := portal.New(2 * time.Second)
+	p.SetObserver(ob)
 	if err := portal.CourseTools(p); err != nil {
 		log.Fatal(err)
 	}
@@ -56,6 +62,9 @@ func main() {
 		}
 		fmt.Printf("  %-9s %s\n", h.Tool, status)
 	}
+
+	fmt.Println("\n=== portal telemetry ===")
+	ob.Snapshot().WriteText(os.Stdout)
 }
 
 func firstLines(s string, n int) string {

@@ -11,10 +11,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"vlsicad/internal/drc"
 	"vlsicad/internal/mls"
 	"vlsicad/internal/netlist"
+	"vlsicad/internal/obs"
 	"vlsicad/internal/place"
 	"vlsicad/internal/route"
 	"vlsicad/internal/techmap"
@@ -41,6 +46,17 @@ type FlowOpts struct {
 	// the synthesized network (BDD equivalence; costly on very wide
 	// input spaces).
 	VerifyMapping bool
+	// Obs receives per-stage spans, latency histograms and result
+	// gauges for this run. When nil the process-wide obs.Default()
+	// observer is used; inject an observer built on a fake clock for
+	// byte-for-byte deterministic snapshots.
+	Obs *obs.Observer
+}
+
+// StageTiming is one row of the flow's timing table.
+type StageTiming struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // Flow is the result of a full run: every intermediate artifact plus
@@ -74,18 +90,61 @@ type Flow struct {
 	WireLength     int
 	Vias           int
 	CriticalDelay  float64
+
+	// Stages is the per-stage timing table (parse when RunFlow read
+	// the input, then synth, verify, map, place, route, drc, timing),
+	// in execution order.
+	Stages []StageTiming
+	// Trace holds the finished spans of this run (the flow root span
+	// and its per-stage children), in start order.
+	Trace []obs.SpanRecord
+}
+
+// StageTable renders Stages as an aligned text table (the `vlsicad
+// -stats` view).
+func (f *Flow) StageTable() string {
+	var b strings.Builder
+	var total time.Duration
+	for _, s := range f.Stages {
+		total += s.Duration
+	}
+	fmt.Fprintf(&b, "%-10s %14s %7s\n", "stage", "seconds", "share")
+	for _, s := range f.Stages {
+		share := 0.0
+		if total > 0 {
+			share = float64(s.Duration) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-10s %14.6f %6.1f%%\n", s.Name, s.Duration.Seconds(), 100*share)
+	}
+	fmt.Fprintf(&b, "%-10s %14.6f\n", "total", total.Seconds())
+	return b.String()
 }
 
 // RunFlow executes the full logic-to-layout flow on a BLIF model.
 func RunFlow(r io.Reader, opts FlowOpts) (*Flow, error) {
+	if opts.Obs == nil {
+		opts.Obs = obs.Default()
+	}
+	ob := opts.Obs
+	sp := ob.StartSpan("flow.parse")
 	nw, err := netlist.ParseBLIF(r)
+	d := sp.End()
+	ob.Histogram("flow_stage_seconds:parse").ObserveDuration(d)
 	if err != nil {
+		ob.Counter("flow_stage_errors:parse").Inc()
 		return nil, err
 	}
-	return RunFlowOnNetwork(nw, opts)
+	f, ferr := RunFlowOnNetwork(nw, opts)
+	if f != nil {
+		f.Stages = append([]StageTiming{{Name: "parse", Duration: d}}, f.Stages...)
+	}
+	return f, ferr
 }
 
 // RunFlowOnNetwork is RunFlow starting from an in-memory network.
+// Each stage runs inside a child span of one "flow" root span and
+// feeds a per-stage latency histogram; the finished spans land in
+// Flow.Trace and the timing table in Flow.Stages.
 func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 	if opts.Utilization <= 0 || opts.Utilization > 1 {
 		opts.Utilization = 0.5
@@ -93,10 +152,39 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 	if opts.RouteScale <= 0 {
 		opts.RouteScale = 3
 	}
+	ob := opts.Obs
+	if ob == nil {
+		ob = obs.Default()
+	}
 	f := &Flow{Source: nw.Clone(), LiteralsBefore: nw.Literals()}
+
+	root := ob.StartSpan("flow")
+	root.SetLabel("model", nw.Name)
+	// endStage closes a stage span and records its timing-table row.
+	endStage := func(sp *obs.Span, name string, err error) {
+		d := sp.End()
+		f.Stages = append(f.Stages, StageTiming{Name: name, Duration: d})
+		ob.Histogram("flow_stage_seconds:" + name).ObserveDuration(d)
+		if err != nil {
+			ob.Counter("flow_stage_errors:" + name).Inc()
+		}
+	}
+	// finish closes the root span, attaches the trace, and counts the
+	// run; every return path goes through it.
+	finish := func(ret *Flow, err error) (*Flow, error) {
+		root.SetLabel("ok", strconv.FormatBool(err == nil))
+		root.End()
+		f.Trace = ob.Tracer().SnapshotSince(root.ID())
+		ob.Counter("flow_runs_total").Inc()
+		if err != nil {
+			ob.Counter("flow_runs_failed").Inc()
+		}
+		return ret, err
+	}
 
 	// 1. Synthesis (Weeks 3-4): extract common divisors, simplify,
 	// sweep; verify with BDD equivalence (Week 2).
+	sp := root.StartChild("flow.synth")
 	work := nw.Clone()
 	if !opts.SkipSynthesis {
 		mls.ExtractKernels(work, "fx_", 10)
@@ -105,24 +193,38 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 	}
 	f.Synthesized = work
 	f.LiteralsAfter = work.Literals()
-	eq, err := netlist.EquivalentBDD(nw, work)
-	if err != nil {
-		return nil, fmt.Errorf("vlsicad: synthesis verification: %w", err)
-	}
+	endStage(sp, "synth", nil)
+
+	sp = root.StartChild("flow.verify")
+	eq, eqErr := netlist.EquivalentBDD(nw, work)
 	f.Equivalent = eq
+	var verr error
+	switch {
+	case eqErr != nil:
+		verr = fmt.Errorf("vlsicad: synthesis verification: %w", eqErr)
+	case !eq:
+		verr = fmt.Errorf("vlsicad: synthesis changed the function")
+	}
+	endStage(sp, "verify", verr)
+	if eqErr != nil {
+		return finish(nil, verr)
+	}
 	if !eq {
-		return f, fmt.Errorf("vlsicad: synthesis changed the function")
+		return finish(f, verr)
 	}
 
 	// 2. Technology mapping (Week 5).
+	sp = root.StartChild("flow.map")
 	subj, err := techmap.FromNetwork(work)
 	if err != nil {
-		return nil, err
+		endStage(sp, "map", err)
+		return finish(nil, err)
 	}
 	f.Subject = subj
 	mapping, err := techmap.Map(subj, techmap.StandardLibrary(), opts.MapObjective)
 	if err != nil {
-		return nil, err
+		endStage(sp, "map", err)
+		return finish(nil, err)
 	}
 	f.Mapping = mapping
 	f.Area = mapping.Area
@@ -130,39 +232,51 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 		mapped, err := techmap.ToNetwork(subj, mapping, techmap.StandardLibrary(),
 			work.Name+"_mapped", work.Inputs, work.Outputs)
 		if err != nil {
-			return nil, fmt.Errorf("vlsicad: mapped-netlist export: %w", err)
+			endStage(sp, "map", err)
+			return finish(nil, fmt.Errorf("vlsicad: mapped-netlist export: %w", err))
 		}
 		eqM, err := netlist.EquivalentBDD(work, mapped)
 		if err != nil {
-			return nil, fmt.Errorf("vlsicad: mapping verification: %w", err)
+			endStage(sp, "map", err)
+			return finish(nil, fmt.Errorf("vlsicad: mapping verification: %w", err))
 		}
 		if !eqM {
-			return f, fmt.Errorf("vlsicad: technology mapping changed the function")
+			err = fmt.Errorf("vlsicad: technology mapping changed the function")
+			endStage(sp, "map", err)
+			return finish(f, err)
 		}
 	}
+	endStage(sp, "map", nil)
 
 	// 3. Placement (Week 6): one cell per mapped gate; nets from the
 	// gate-level connectivity; pads for the primary inputs/outputs.
+	sp = root.StartChild("flow.place")
 	prob, cellOf, err := placementFromMapping(work, subj, mapping, opts.Utilization)
 	if err != nil {
-		return nil, err
+		endStage(sp, "place", err)
+		return finish(nil, err)
 	}
 	f.PlaceProblem = prob
 	global, err := place.Quadratic(prob, place.QuadraticOpts{})
 	if err != nil {
-		return nil, err
+		endStage(sp, "place", err)
+		return finish(nil, err)
 	}
 	legal, err := place.Legalize(prob, global)
 	if err != nil {
-		return nil, err
+		endStage(sp, "place", err)
+		return finish(nil, err)
 	}
 	if err := place.CheckLegal(prob, legal); err != nil {
-		return nil, fmt.Errorf("vlsicad: legalization: %w", err)
+		endStage(sp, "place", err)
+		return finish(nil, fmt.Errorf("vlsicad: legalization: %w", err))
 	}
 	f.Placement = legal
 	f.HPWL = prob.HPWL(legal)
+	endStage(sp, "place", nil)
 
 	// 4. Routing (Week 7).
+	sp = root.StartChild("flow.route")
 	grid, nets := routingFromPlacement(prob, legal, opts.RouteScale, opts.Seed)
 	f.Grid = grid
 	f.Nets = nets
@@ -174,22 +288,39 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 	})
 	f.WireLength = f.Routing.Length
 	f.Vias = f.Routing.Vias
+	endStage(sp, "route", nil)
 	if opts.CheckDRC {
+		sp = root.StartChild("flow.drc")
 		// Pitch 6 with half-pitch wires keeps legally routed tracks
 		// clean under the default 2-unit rules.
 		shapes := drc.WiresToShapes(f.Routing.Paths, 6)
 		f.DRC = drc.Check(shapes, drc.DefaultRules())
+		endStage(sp, "drc", nil)
+		ob.Counter("flow_drc_violations").Add(int64(len(f.DRC)))
+		if len(f.DRC) > 0 {
+			ob.Emit("flow.drc_violations", map[string]string{
+				"model": nw.Name, "count": strconv.Itoa(len(f.DRC)),
+			})
+		}
 	}
 
 	// 5. Static timing (Week 8) over the mapped gates, optionally with
 	// Elmore wire delays from the routed wirelengths.
+	sp = root.StartChild("flow.timing")
 	rep, err := timingFromMapping(work, subj, mapping, f, cellOf, opts.WireModel)
+	endStage(sp, "timing", err)
 	if err != nil {
-		return nil, err
+		return finish(nil, err)
 	}
 	f.Timing = rep
 	f.CriticalDelay = rep.MaxArrival
-	return f, nil
+
+	// Result gauges: the most recent run's quality-of-results.
+	ob.Gauge("flow_area").Set(f.Area)
+	ob.Gauge("flow_hpwl").Set(f.HPWL)
+	ob.Gauge("flow_wirelength").Set(float64(f.WireLength))
+	ob.Gauge("flow_critical_delay").Set(f.CriticalDelay)
+	return finish(f, nil)
 }
 
 // placementFromMapping builds the placement instance: one movable
@@ -242,7 +373,17 @@ func placementFromMapping(nw *netlist.Network, subj *techmap.Subject, mp *techma
 			consumers[leaf] = append(consumers[leaf], ci)
 		}
 	}
-	for node, cons := range consumers {
+	// Iterate driving nodes in sorted order: map-order iteration here
+	// made net numbering — and hence routing, wirelength and DRC —
+	// vary between identical runs, which breaks reproducible
+	// telemetry snapshots.
+	drivers := make([]int, 0, len(consumers))
+	for node := range consumers {
+		drivers = append(drivers, node)
+	}
+	sort.Ints(drivers)
+	for _, node := range drivers {
+		cons := consumers[node]
 		net := place.Net{}
 		seen := map[int]bool{}
 		for _, c := range cons {

@@ -1,0 +1,121 @@
+package vlsicad
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"vlsicad/internal/obs"
+)
+
+const obsTestBLIF = `.model adder2
+.inputs a0 a1 b0 b1
+.outputs s0 s1 c
+.names a0 b0 s0
+10 1
+01 1
+.names a0 b0 k0
+11 1
+.names a1 b1 k0 s1
+100 1
+010 1
+001 1
+111 1
+.names a1 b1 k0 c
+11- 1
+1-1 1
+-11 1
+.end
+`
+
+// TestFlowStagesAndSpans: every stage appears in the timing table and
+// as a child span of the flow root.
+func TestFlowStagesAndSpans(t *testing.T) {
+	ob := obs.NewObserver(obs.NewFakeClock(time.Unix(1700000000, 0).UTC(), time.Millisecond).Now)
+	f, err := RunFlow(strings.NewReader(obsTestBLIF),
+		FlowOpts{Seed: 1, CheckDRC: true, Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"parse", "synth", "verify", "map", "place", "route", "drc", "timing"}
+	if len(f.Stages) != len(wantStages) {
+		t.Fatalf("stages = %+v", f.Stages)
+	}
+	for i, w := range wantStages {
+		if f.Stages[i].Name != w {
+			t.Errorf("stage %d = %s, want %s", i, f.Stages[i].Name, w)
+		}
+		if w != "parse" && f.Stages[i].Duration <= 0 {
+			t.Errorf("stage %s has no duration", w)
+		}
+	}
+	if len(f.Trace) == 0 || f.Trace[0].Name != "flow" {
+		t.Fatalf("trace should start with the flow root: %+v", f.Trace)
+	}
+	rootID := f.Trace[0].ID
+	children := map[string]bool{}
+	for _, sp := range f.Trace[1:] {
+		if sp.Parent != rootID {
+			t.Errorf("span %s not parented on flow root", sp.Name)
+		}
+		children[sp.Name] = true
+	}
+	for _, w := range wantStages[1:] {
+		if !children["flow."+w] {
+			t.Errorf("missing child span flow.%s", w)
+		}
+	}
+	m := ob.Snapshot().Metrics
+	if m.Counters["flow_runs_total"] != 1 {
+		t.Errorf("flow_runs_total = %d", m.Counters["flow_runs_total"])
+	}
+	for _, w := range wantStages {
+		h := m.Histograms["flow_stage_seconds:"+w]
+		if h.Count != 1 {
+			t.Errorf("histogram for stage %s count = %d, want 1", w, h.Count)
+		}
+	}
+	if tab := f.StageTable(); !strings.Contains(tab, "synth") || !strings.Contains(tab, "total") {
+		t.Errorf("stage table:\n%s", tab)
+	}
+}
+
+// TestFlowSnapshotDeterministic: with an injected fake clock the full
+// JSON telemetry snapshot is byte-for-byte identical across runs —
+// the acceptance bar for reproducible stage timings.
+func TestFlowSnapshotDeterministic(t *testing.T) {
+	run := func() []byte {
+		ob := obs.NewObserver(obs.NewFakeClock(time.Unix(1700000000, 0).UTC(), 250*time.Microsecond).Now)
+		_, err := RunFlow(strings.NewReader(obsTestBLIF),
+			FlowOpts{Seed: 7, CheckDRC: true, WireModel: true, Obs: ob})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ob.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Error("telemetry snapshots differ between identical runs under a fake clock")
+	}
+	if !bytes.Contains(a, []byte(`"flow.route"`)) {
+		t.Error("snapshot should contain the route stage span")
+	}
+}
+
+// TestFlowDefaultObserver: with no observer injected, runs are still
+// counted on the process-wide default (zero-plumbing telemetry).
+func TestFlowDefaultObserver(t *testing.T) {
+	before := obs.Default().Snapshot().Metrics.Counters["flow_runs_total"]
+	if _, err := RunFlow(strings.NewReader(obsTestBLIF), FlowOpts{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := obs.Default().Snapshot().Metrics.Counters["flow_runs_total"]
+	if after != before+1 {
+		t.Errorf("default observer flow_runs_total %d -> %d, want +1", before, after)
+	}
+}

@@ -1,0 +1,55 @@
+package mooc
+
+import (
+	"strings"
+	"testing"
+
+	"vlsicad/internal/obs"
+)
+
+func TestSimulateGrading(t *testing.T) {
+	c := Simulate(PaperParams(), 3)
+	ob := obs.NewObserver(nil)
+	tel := SimulateGrading(c, 4, 50, 3, 0.8, 7, ob)
+	if tel.SampleSize != 50 {
+		t.Fatalf("sample = %d, want 50", tel.SampleSize)
+	}
+	if len(tel.Weeks) != 4 {
+		t.Fatalf("weeks = %d", len(tel.Weeks))
+	}
+	if tel.Assignments != 4*50 {
+		t.Errorf("assignments = %d, want 200", tel.Assignments)
+	}
+	if tel.Questions != 4*50*3 {
+		t.Errorf("questions = %d, want 600", tel.Questions)
+	}
+	// With 80% answer accuracy the pass rate should land near it
+	// (slightly above: a wrong yes/no guess can still be "correct"
+	// by luck is impossible here since "wrong" never parses, so
+	// near-exact).
+	if pr := tel.PassRate(); pr < 0.7 || pr > 0.9 {
+		t.Errorf("pass rate = %g, want ~0.8", pr)
+	}
+
+	m := ob.Snapshot().Metrics
+	if m.Counters["mooc_assignments_graded"] != int64(tel.Assignments) {
+		t.Errorf("assignments counter = %d", m.Counters["mooc_assignments_graded"])
+	}
+	if m.Counters["mooc_questions_correct"] != int64(tel.Correct) {
+		t.Errorf("correct counter = %d", m.Counters["mooc_questions_correct"])
+	}
+	if h := m.Histograms["mooc_assignment_score"]; h.Count != int64(tel.Assignments) {
+		t.Errorf("score histogram count = %d", h.Count)
+	}
+
+	// Deterministic for a fixed seed.
+	tel2 := SimulateGrading(c, 4, 50, 3, 0.8, 7, nil)
+	if tel2.Correct != tel.Correct {
+		t.Errorf("same seed should grade identically: %d vs %d", tel.Correct, tel2.Correct)
+	}
+
+	s := tel.String()
+	if !strings.Contains(s, "week  1") || !strings.Contains(s, "total:") {
+		t.Errorf("report:\n%s", s)
+	}
+}

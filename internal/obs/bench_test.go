@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar: instrumentation must add no measurable cost
+// when telemetry is detached (nil observer), and only cheap atomics
+// when attached.
+
+func BenchmarkCounterInc(b *testing.B) {
+	o := NewObserver(nil)
+	c := o.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	o := NewObserver(nil)
+	h := o.Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	o := NewObserver(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.StartSpan("bench").End()
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	o := NewObserver(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Counter("portal_jobs_total").Inc()
+	}
+}
+
+// BenchmarkDetached measures the fully-instrumented call pattern
+// against a nil observer — this is the "no exporter attached" cost.
+func BenchmarkDetached(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := o.StartSpan("job")
+		sp.SetLabel("tool", "kbdd")
+		o.Counter("portal_jobs_total").Inc()
+		o.Histogram("portal_job_seconds").ObserveDuration(time.Microsecond)
+		sp.End()
+	}
+}

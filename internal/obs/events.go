@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured telemetry record — a discrete operational
+// fact (job abandoned, DRC violations found) rather than a metric
+// sample.
+type Event struct {
+	Seq    int64             `json:"seq"`
+	Time   time.Time         `json:"time"`
+	Kind   string            `json:"kind"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// DefaultEventCapacity bounds the ring of a new EventLog.
+const DefaultEventCapacity = 1024
+
+// EventLog is a bounded ring of events; when full, the oldest are
+// dropped (and counted). Safe for concurrent use and on nil.
+type EventLog struct {
+	mu      sync.Mutex
+	clock   func() time.Time
+	buf     []Event
+	cap     int
+	next    int
+	wrapped bool
+	seq     int64
+	dropped int64
+}
+
+// NewEventLog returns an event log using the given clock (time.Now
+// when nil) keeping at most capacity events (DefaultEventCapacity
+// when <= 0).
+func NewEventLog(clock func() time.Time, capacity int) *EventLog {
+	if clock == nil {
+		clock = time.Now
+	}
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{clock: clock, cap: capacity}
+}
+
+// Emit appends an event. The fields map is copied. Safe on nil.
+func (l *EventLog) Emit(kind string, fields map[string]string) {
+	if l == nil {
+		return
+	}
+	var cp map[string]string
+	if len(fields) > 0 {
+		cp = make(map[string]string, len(fields))
+		for k, v := range fields {
+			cp[k] = v
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e := Event{Seq: l.seq, Time: l.clock(), Kind: kind, Fields: cp}
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.wrapped = true
+	}
+	l.next = (l.next + 1) % l.cap
+	if l.wrapped {
+		l.dropped++
+	}
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	if l.wrapped {
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+	} else {
+		out = append(out, l.buf...)
+	}
+	return out
+}
+
+// Dropped reports how many events fell off the ring.
+func (l *EventLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer hands out Spans and keeps a bounded ring of finished span
+// records. The clock is injectable so tests (and the deterministic
+// flow snapshot) never depend on wall time. IDs are assigned in start
+// order, so with a deterministic clock and call sequence the snapshot
+// is fully reproducible.
+type Tracer struct {
+	mu      sync.Mutex
+	clock   func() time.Time
+	nextID  int64
+	done    []SpanRecord // ring buffer, capacity cap
+	cap     int
+	next    int // ring write index
+	wrapped bool
+	dropped int64
+}
+
+// DefaultSpanCapacity bounds the finished-span ring of a new Tracer.
+const DefaultSpanCapacity = 4096
+
+// NewTracer returns a tracer using the given clock (time.Now when
+// nil) keeping at most capacity finished spans (DefaultSpanCapacity
+// when <= 0).
+func NewTracer(clock func() time.Time, capacity int) *Tracer {
+	if clock == nil {
+		clock = time.Now
+	}
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{clock: clock, cap: capacity}
+}
+
+// Span is one timed operation. Start it with Tracer.Start or
+// Span.StartChild, optionally attach labels, then End it — only ended
+// spans appear in snapshots. All methods are safe on a nil receiver.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+
+	mu     sync.Mutex
+	labels map[string]string
+	ended  bool
+	dur    time.Duration
+}
+
+// SpanRecord is a finished span as exported in snapshots.
+type SpanRecord struct {
+	ID       int64             `json:"id"`
+	Parent   int64             `json:"parent,omitempty"` // 0 = root
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Labels   map[string]string `json:"labels,omitempty"`
+}
+
+// Start begins a root span. Safe on a nil tracer (returns nil).
+func (t *Tracer) Start(name string) *Span { return t.start(name, 0) }
+
+func (t *Tracer) start(name string, parent int64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	now := t.clock()
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: parent, name: name, start: now}
+}
+
+// StartChild begins a span parented on s. Safe on a nil span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(name, s.id)
+}
+
+// ID returns the span's id (0 for nil).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetLabel attaches a key/value to the span. Safe on nil and after
+// End (late labels are simply dropped from the record).
+func (s *Span) SetLabel(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.labels == nil {
+		s.labels = map[string]string{}
+	}
+	s.labels[k] = v
+}
+
+// End finishes the span, records it in the tracer's ring, and returns
+// its duration. Ending twice records once. Safe on nil (returns 0).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if s.ended {
+		d := s.dur
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	labels := s.labels
+	t := s.tr
+	d := t.clock().Sub(s.start) // clock is immutable after NewTracer
+	s.dur = d
+	s.mu.Unlock()
+
+	t.mu.Lock()
+	rec := SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name,
+		Start: s.start, Duration: d, Labels: labels,
+	}
+	if len(t.done) < t.cap {
+		t.done = append(t.done, rec)
+	} else {
+		t.done[t.next] = rec
+		t.wrapped = true
+	}
+	t.next = (t.next + 1) % t.cap
+	if t.wrapped {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	return d
+}
+
+// Snapshot returns the finished spans, oldest first, sorted by start
+// order (ID). Nil tracers snapshot empty.
+func (t *Tracer) Snapshot() []SpanRecord { return t.SnapshotSince(0) }
+
+// SnapshotSince returns finished spans with ID >= since, in ID order
+// — handy for slicing out the spans belonging to one operation when
+// IDs are allocated sequentially.
+func (t *Tracer) SnapshotSince(since int64) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, 0, len(t.done))
+	for _, r := range t.done {
+		if r.ID >= since {
+			out = append(out, r)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Dropped reports how many finished spans fell off the ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

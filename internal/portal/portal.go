@@ -8,8 +8,11 @@ package portal
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"vlsicad/internal/obs"
 )
 
 // Tool is a text-in/text-out EDA tool. Implementations should poll
@@ -28,8 +31,18 @@ type JobResult struct {
 	Err      string
 	Duration time.Duration
 	TimedOut bool
-	When     time.Time
+	// Abandoned marks a runaway tool that ignored cancellation past
+	// the grace period: its goroutine was left running and the portal
+	// returned without its output. Abandoned jobs are also counted in
+	// the portal_jobs_abandoned metric and tracked live by the
+	// portal_abandoned_inflight gauge.
+	Abandoned bool
+	When      time.Time
 }
+
+// GracePeriod is how long Submit waits after cancellation for a tool
+// to acknowledge before abandoning its goroutine.
+const GracePeriod = 50 * time.Millisecond
 
 // Portal hosts a set of tools and per-user result histories.
 type Portal struct {
@@ -38,15 +51,44 @@ type Portal struct {
 	history map[string][]JobResult
 	timeout time.Duration
 	clock   func() time.Time
+	// after schedules the timeout and grace timers; injectable so
+	// tests exercise timeout paths without real sleeps.
+	after func(time.Duration) <-chan time.Time
+	obs   *obs.Observer
 }
 
-// New creates a portal with the given runaway-tool timeout.
+// New creates a portal with the given runaway-tool timeout, reporting
+// telemetry to the process-wide obs.Default() observer.
 func New(timeout time.Duration) *Portal {
 	return &Portal{
 		tools:   map[string]Tool{},
 		history: map[string][]JobResult{},
 		timeout: timeout,
 		clock:   time.Now,
+		after:   time.After,
+		obs:     obs.Default(),
+	}
+}
+
+// SetObserver redirects the portal's telemetry (nil detaches it).
+func (p *Portal) SetObserver(o *obs.Observer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = o
+}
+
+// SetClock injects the duration clock and the timer source used for
+// timeout enforcement. Either may be nil to keep the current one.
+// Tests pair a fake clock with an immediate-fire timer to cover
+// timeout paths deterministically.
+func (p *Portal) SetClock(now func() time.Time, after func(time.Duration) <-chan time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now != nil {
+		p.clock = now
+	}
+	if after != nil {
+		p.after = after
 	}
 }
 
@@ -74,15 +116,22 @@ func (p *Portal) Tools() []string {
 }
 
 // Submit runs a job synchronously (with timeout enforcement) and
-// appends the result to the user's history.
+// appends the result to the user's history. Every job emits a span
+// plus per-tool counters and a duration histogram.
 func (p *Portal) Submit(user, tool, input string) (JobResult, error) {
 	p.mu.Lock()
 	t, ok := p.tools[tool]
+	clock, after, ob := p.clock, p.after, p.obs
 	p.mu.Unlock()
 	if !ok {
+		ob.Counter("portal_jobs_unknown_tool").Inc()
 		return JobResult{}, fmt.Errorf("portal: no tool %q", tool)
 	}
-	start := p.clock()
+	sp := ob.StartSpan("portal.submit")
+	sp.SetLabel("tool", tool)
+	sp.SetLabel("user", user)
+	ob.Gauge("portal_jobs_inflight").Add(1)
+	start := clock()
 	cancel := make(chan struct{})
 	type outcome struct {
 		out string
@@ -100,7 +149,7 @@ func (p *Portal) Submit(user, tool, input string) (JobResult, error) {
 		if o.err != nil {
 			res.Err = o.err.Error()
 		}
-	case <-time.After(p.timeout):
+	case <-after(p.timeout):
 		close(cancel)
 		// Give the tool a short grace period to acknowledge.
 		select {
@@ -109,17 +158,43 @@ func (p *Portal) Submit(user, tool, input string) (JobResult, error) {
 			if o.err != nil {
 				res.Err = o.err.Error()
 			}
-		case <-time.After(50 * time.Millisecond):
+		case <-after(GracePeriod):
+			// The tool ignored cancellation: its goroutine keeps
+			// running detached. Make the runaway visible instead of
+			// silently dropping it.
+			res.Abandoned = true
+			ob.Counter("portal_jobs_abandoned").Inc()
+			ob.Gauge("portal_abandoned_inflight").Add(1)
+			ob.Emit("portal.abandoned", map[string]string{"tool": tool, "user": user})
+			go func() {
+				<-done
+				ob.Gauge("portal_abandoned_inflight").Add(-1)
+				ob.Counter("portal_abandoned_returned").Inc()
+			}()
 		}
 		res.TimedOut = true
 		if res.Err == "" {
 			res.Err = "terminated: exceeded portal time limit"
 		}
 	}
-	res.Duration = p.clock().Sub(start)
+	res.Duration = clock().Sub(start)
 	p.mu.Lock()
 	p.history[user] = append(p.history[user], res)
 	p.mu.Unlock()
+
+	ob.Gauge("portal_jobs_inflight").Add(-1)
+	ob.Counter("portal_jobs_total").Inc()
+	ob.Counter("portal_jobs:" + tool).Inc()
+	if res.TimedOut {
+		ob.Counter("portal_jobs_timeout").Inc()
+	}
+	if res.Err != "" {
+		ob.Counter("portal_jobs_error").Inc()
+	}
+	ob.Histogram("portal_job_seconds").ObserveDuration(res.Duration)
+	ob.Histogram("portal_job_seconds:" + tool).ObserveDuration(res.Duration)
+	sp.SetLabel("timed_out", strconv.FormatBool(res.TimedOut))
+	sp.End()
 	return res, nil
 }
 
