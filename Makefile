@@ -1,9 +1,10 @@
 # Standard pre-merge gate: `make check` must be green before merging.
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench xcheck fuzz corpus
 
-check: vet build race bench
+check: vet build race xcheck fuzz bench
 
 vet:
 	$(GO) vet ./...
@@ -19,3 +20,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Replay the golden differential-testing corpus (byte-identical
+# regeneration + zero oracle mismatches).
+xcheck:
+	$(GO) test ./internal/xcheck -run Corpus -count=1
+
+# Short fuzzing pass over the cross-engine oracles. Go runs one fuzz
+# target per invocation, so each gets its own.
+fuzz:
+	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzCoverMinimize -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzSATvsBDD -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzRoute -fuzztime=$(FUZZTIME)
+
+# Regenerate testdata/xcheck from the pinned master seed.
+corpus:
+	$(GO) run ./cmd/xcheckgen -out testdata/xcheck

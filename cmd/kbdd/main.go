@@ -18,22 +18,27 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var src []byte
 	var err error
-	if len(os.Args) > 1 {
-		src, err = os.ReadFile(os.Args[1])
+	if len(args) > 0 {
+		src, err = os.ReadFile(args[0])
 	} else {
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kbdd:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "kbdd:", err)
+		return 1
 	}
 	k := portal.NewKBDD(64)
 	runErr := k.RunScript(string(src))
-	fmt.Print(k.Output())
+	fmt.Fprint(stdout, k.Output())
 	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "kbdd:", runErr)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "kbdd:", runErr)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runMiniSAT(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestMiniSATSat(t *testing.T) {
+	code, out, errb := runMiniSAT(t, "p cnf 2 2\n1 2 0\n-1 0\n")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb)
+	}
+	if !strings.HasPrefix(out, "s SATISFIABLE") || !strings.Contains(out, "v -1 2 0") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestMiniSATUnsat(t *testing.T) {
+	code, out, _ := runMiniSAT(t, "p cnf 1 2\n1 0\n-1 0\n")
+	if code != 0 || !strings.HasPrefix(out, "s UNSATISFIABLE") {
+		t.Fatalf("code=%d output:\n%s", code, out)
+	}
+}
+
+func TestMiniSATFileArg(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "inst.cnf")
+	if err := os.WriteFile(path, []byte("p cnf 1 1\n1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runMiniSAT(t, "", path)
+	if code != 0 || !strings.HasPrefix(out, "s SATISFIABLE") {
+		t.Fatalf("code=%d output:\n%s", code, out)
+	}
+}
+
+func TestMiniSATErrors(t *testing.T) {
+	if code, _, errb := runMiniSAT(t, "not dimacs at all"); code != 1 || !strings.Contains(errb, "minisat:") {
+		t.Errorf("garbage input: code=%d stderr=%q", code, errb)
+	}
+	if code, _, _ := runMiniSAT(t, "", filepath.Join(t.TempDir(), "missing.cnf")); code != 1 {
+		t.Errorf("missing file: code=%d, want 1", code)
+	}
+}

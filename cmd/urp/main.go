@@ -21,12 +21,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "urp:", err)
+		return 1
 	}
-	input, err := io.ReadAll(os.Stdin)
+	usage := func() int {
+		fmt.Fprintln(stderr, "usage: urp complement|tautology|count|cofactor <var> <0|1>  (cover on stdin)")
+		return 2
+	}
+	if len(args) < 1 {
+		return usage()
+	}
+	input, err := io.ReadAll(stdin)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var rows []string
 	for _, line := range strings.Split(string(input), "\n") {
@@ -36,44 +48,45 @@ func main() {
 		}
 	}
 	if len(rows) == 0 {
-		fatal(fmt.Errorf("empty cover on stdin"))
+		return fail(fmt.Errorf("empty cover on stdin"))
 	}
 	f, err := cube.ParseCover(rows)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "complement":
-		printCover(f.Complement())
+		printCover(stdout, f.Complement())
 	case "tautology":
 		if f.IsTautology() {
-			fmt.Println("yes")
+			fmt.Fprintln(stdout, "yes")
 		} else {
-			fmt.Println("no")
+			fmt.Fprintln(stdout, "no")
 		}
 	case "cofactor":
-		if len(os.Args) != 4 {
-			usage()
+		if len(args) != 3 {
+			return usage()
 		}
-		v, err := strconv.Atoi(os.Args[2])
+		v, err := strconv.Atoi(args[1])
 		if err != nil || v < 1 || v > f.N {
-			fatal(fmt.Errorf("variable must be 1..%d", f.N))
+			return fail(fmt.Errorf("variable must be 1..%d", f.N))
 		}
-		phase := os.Args[3] == "1"
-		printCover(f.Cofactor(v-1, phase))
+		phase := args[2] == "1"
+		printCover(stdout, f.Cofactor(v-1, phase))
 	case "count":
 		if f.N > 24 {
-			fatal(fmt.Errorf("count limited to 24 variables"))
+			return fail(fmt.Errorf("count limited to 24 variables"))
 		}
-		fmt.Println(len(f.Minterms()))
+		fmt.Fprintln(stdout, len(f.Minterms()))
 	default:
-		usage()
+		return usage()
 	}
+	return 0
 }
 
-func printCover(f *cube.Cover) {
+func printCover(w io.Writer, f *cube.Cover) {
 	if f.IsEmpty() {
-		fmt.Println("# empty cover (constant 0)")
+		fmt.Fprintln(w, "# empty cover (constant 0)")
 		return
 	}
 	for _, c := range f.Cubes {
@@ -88,16 +101,6 @@ func printCover(f *cube.Cover) {
 				row[i] = '-'
 			}
 		}
-		fmt.Println(string(row))
+		fmt.Fprintln(w, string(row))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "urp:", err)
-	os.Exit(1)
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: urp complement|tautology|count|cofactor <var> <0|1>  (cover on stdin)")
-	os.Exit(2)
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runURP(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestURPTautology(t *testing.T) {
+	code, out, _ := runURP(t, "1-\n0-\n", "tautology")
+	if code != 0 || strings.TrimSpace(out) != "yes" {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	code, out, _ = runURP(t, "11\n", "tautology")
+	if code != 0 || strings.TrimSpace(out) != "no" {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestURPComplement(t *testing.T) {
+	// f = a; complement is a'.
+	code, out, _ := runURP(t, "1-\n", "complement")
+	if code != 0 || strings.TrimSpace(out) != "0-" {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	// Tautology complements to the empty cover.
+	code, out, _ = runURP(t, "1-\n0-\n", "complement")
+	if code != 0 || !strings.Contains(out, "empty cover") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestURPCountAndCofactor(t *testing.T) {
+	// |11-| + |--1| - |111| = 2 + 4 - 1 = 5 minterms.
+	code, out, _ := runURP(t, "11-\n--1\n", "count")
+	if code != 0 || strings.TrimSpace(out) != "5" {
+		t.Fatalf("count: code=%d out=%q", code, out)
+	}
+	code, out, _ = runURP(t, "11\n01\n", "cofactor", "2", "1")
+	if code != 0 {
+		t.Fatalf("cofactor: code=%d out=%q", code, out)
+	}
+	// f|b=1 = a + a' = tautology over the remaining space.
+	code, out2, _ := runURP(t, out, "tautology")
+	if code != 0 || strings.TrimSpace(out2) != "yes" {
+		t.Fatalf("cofactor result not tautology: %q -> %q", out, out2)
+	}
+}
+
+func TestURPErrors(t *testing.T) {
+	if code, _, _ := runURP(t, ""); code != 2 {
+		t.Errorf("no subcommand: code=%d, want 2", code)
+	}
+	if code, _, errb := runURP(t, "", "tautology"); code != 1 || !strings.Contains(errb, "empty cover") {
+		t.Errorf("empty stdin: code=%d stderr=%q", code, errb)
+	}
+	if code, _, _ := runURP(t, "1z\n", "tautology"); code != 1 {
+		t.Errorf("bad cover: code=%d, want 1", code)
+	}
+	if code, _, _ := runURP(t, "11\n", "cofactor", "9", "1"); code != 1 {
+		t.Errorf("bad var index: code=%d, want 1", code)
+	}
+	if code, _, _ := runURP(t, "11\n", "frobnicate"); code != 2 {
+		t.Errorf("unknown subcommand: code=%d, want 2", code)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const adderBLIF = `.model adder
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+
+func runVLSI(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFlowSummary(t *testing.T) {
+	code, out, errb := runVLSI(t, adderBLIF)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb)
+	}
+	for _, want := range []string{
+		"model          : adder",
+		"verified equivalent: true",
+		"routing",
+		"timing",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlowJSON(t *testing.T) {
+	code, out, errb := runVLSI(t, adderBLIF, "-json")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb)
+	}
+	var snap struct {
+		Model      string `json:"model"`
+		Equivalent bool   `json:"equivalent"`
+		RoutedNets int    `json:"routed_nets"`
+		TotalNets  int    `json:"total_nets"`
+	}
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if snap.Model != "adder" || !snap.Equivalent {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.RoutedNets != snap.TotalNets {
+		t.Errorf("unrouted nets: %d/%d", snap.RoutedNets, snap.TotalNets)
+	}
+}
+
+func TestFlowErrors(t *testing.T) {
+	if code, _, errb := runVLSI(t, "not a blif file"); code != 1 || !strings.Contains(errb, "vlsicad:") {
+		t.Errorf("garbage input: code=%d stderr=%q", code, errb)
+	}
+	if code, _, _ := runVLSI(t, adderBLIF, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: code=%d, want 2", code)
+	}
+	if code, _, _ := runVLSI(t, "", "/no/such/file.blif"); code != 1 {
+		t.Errorf("missing file: code=%d, want 1", code)
+	}
+}

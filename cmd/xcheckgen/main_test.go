@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runGen(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestGenerateAndVerify(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	code, out, errb := runGen(t, "-out", dir)
+	if code != 0 {
+		t.Fatalf("generate: code=%d stderr=%q", code, errb)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("generate output: %q", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb = runGen(t, "-verify", "-out", dir)
+	if code != 0 {
+		t.Fatalf("verify: code=%d stderr=%q", code, errb)
+	}
+	if !strings.Contains(out, "0 mismatches") {
+		t.Fatalf("verify output: %q", out)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if code, _, errb := runGen(t, "-out", dir); code != 0 {
+		t.Fatalf("generate: stderr=%q", errb)
+	}
+	path := filepath.Join(dir, "cover-000.txt")
+	if err := os.WriteFile(path, []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runGen(t, "-verify", "-out", dir); code != 1 {
+		t.Errorf("tampered corpus verified clean (code=%d)", code)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	code, out, _ := runGen(t, "-sweep", "2", "-start", "5000", "-stats")
+	if code != 0 {
+		t.Fatalf("sweep: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "0 mismatches") {
+		t.Fatalf("sweep output: %q", out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runGen(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: code=%d, want 2", code)
+	}
+}

@@ -154,24 +154,46 @@ func irredundant(f, dc *cube.Cover) *cube.Cover {
 // reduce shrinks each cube to the supercube of the part of the
 // function only it covers, opening room for the next expand to move
 // toward a different (hopefully better) prime.
+//
+// The reduction is sequential, as in the original tool: each cube is
+// shrunk against the already-reduced earlier cubes plus the untouched
+// later ones. Reducing every cube against the *original* cover in
+// parallel is unsound — two cubes sharing a care minterm can each
+// shrink away from it on the assumption that the other still covers
+// it, silently dropping the minterm (caught by the xcheck harness,
+// repro seed=1007).
 func reduce(f, dc *cube.Cover) *cube.Cover {
-	out := cube.NewCover(f.N)
+	cur := make([]cube.Cube, len(f.Cubes))
 	for i, c := range f.Cubes {
+		cur[i] = c.Clone()
+	}
+	alive := make([]bool, len(cur))
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := range cur {
 		rest := cube.NewCover(f.N)
-		for j, d := range f.Cubes {
-			if j != i {
+		for j, d := range cur {
+			if j != i && alive[j] {
 				rest.Add(d.Clone())
 			}
 		}
 		for _, d := range dc.Cubes {
 			rest.Add(d.Clone())
 		}
-		// K = part of c not covered by the rest.
-		k := (&cube.Cover{N: f.N, Cubes: []cube.Cube{c.Clone()}}).Difference(rest)
+		// K = part of the cube not covered by the rest.
+		k := (&cube.Cover{N: f.N, Cubes: []cube.Cube{cur[i].Clone()}}).Difference(rest)
 		if k.IsEmpty() {
-			continue // fully redundant
+			alive[i] = false // fully redundant
+			continue
 		}
-		out.Add(supercube(k))
+		cur[i] = supercube(k)
+	}
+	out := cube.NewCover(f.N)
+	for i, c := range cur {
+		if alive[i] {
+			out.Add(c)
+		}
 	}
 	return out
 }

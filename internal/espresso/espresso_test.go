@@ -386,3 +386,45 @@ func TestDCSet(t *testing.T) {
 		t.Errorf("dc-aware minimize = %v", min)
 	}
 }
+
+// TestXcheckReproSeed1007 pins the parallel-REDUCE unsoundness found
+// by the cross-engine harness (xcheck: repro seed=1007 domain=cover):
+// with a don't-care set, reducing every cube against the original
+// cover in parallel let two cubes both shrink away from care minterm
+// 51, so Minimize returned a cover that no longer implemented the
+// function. REDUCE must be sequential.
+func TestXcheckReproSeed1007(t *testing.T) {
+	on := cover(t,
+		"0-0--1--",
+		"-0--0-00",
+		"10----11",
+		"-001----",
+		"110---0-",
+		"-0---01-",
+		"-1001---",
+		"1-1--0--",
+		"----0-0-",
+		"0-00----",
+	)
+	dc := cover(t,
+		"-0-1-110",
+		"1---1-10",
+		"---010--",
+	)
+	min, _ := Minimize(on, dc)
+	if !Verify(min, on, dc) {
+		t.Fatal("Minimize output fails Verify on the xcheck seed=1007 instance")
+	}
+	// The specific minterm the parallel REDUCE dropped: 51 = 110011_2
+	// read LSB-first over variables x1..x8.
+	assign := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		assign[i] = 51&(1<<uint(i)) != 0
+	}
+	if !on.Eval(assign) || dc.Eval(assign) {
+		t.Fatal("fixture drifted: minterm 51 should be in on \\ dc")
+	}
+	if !min.Eval(assign) {
+		t.Fatal("minimized cover drops care on-set minterm 51")
+	}
+}

@@ -1,0 +1,77 @@
+package repair
+
+import (
+	"testing"
+
+	"vlsicad/internal/netlist"
+	"vlsicad/internal/xcheck"
+)
+
+// TestRepairRandomFaults drives the repair engine with the xcheck
+// network generator: for each seed, the suspect node's cover is
+// complement-faulted and Repair must find a replacement (the original
+// cover over the same fanins is always one), and applying it must make
+// the networks equivalent again.
+func TestRepairRandomFaults(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		seed := xcheck.DeriveSeed(3, "repair", i)
+		ni := xcheck.GenNet(seed)
+		spec := ni.Net
+		impl := spec.Clone()
+		if err := InjectFault(impl, ni.Suspect); err != nil {
+			t.Fatalf("seed=%d: inject: %v", seed, err)
+		}
+
+		res, err := Repair(impl, spec, ni.Suspect)
+		if err != nil {
+			t.Fatalf("seed=%d: repair: %v", seed, err)
+		}
+		if !res.Repaired {
+			// The fault complements the suspect's own cover, so a repair
+			// over the existing fanins always exists.
+			t.Fatalf("seed=%d: repair reported unrepairable\n%s", seed, ni.Dump())
+		}
+		k := len(impl.Nodes[ni.Suspect].Fanins)
+		if got := res.OnPatterns + res.DCPatterns; got > 1<<uint(k) {
+			t.Fatalf("seed=%d: %d on + %d dc patterns exceed 2^%d",
+				seed, res.OnPatterns, res.DCPatterns, k)
+		}
+		if err := Apply(impl, ni.Suspect, res); err != nil {
+			t.Fatalf("seed=%d: apply: %v", seed, err)
+		}
+		if eq, err := netlist.EquivalentBDD(impl, spec); err != nil || !eq {
+			t.Fatalf("seed=%d: network not equivalent after repair (eq=%v err=%v)\n%s",
+				seed, eq, err, ni.Dump())
+		}
+		// The SAT checker must concur with the BDD verdict.
+		if eq, _, err := netlist.EquivalentSAT(impl, spec); err != nil || !eq {
+			t.Fatalf("seed=%d: EquivalentSAT disagrees after repair (eq=%v err=%v)",
+				seed, eq, err)
+		}
+	}
+}
+
+// TestRepairNoFault feeds Repair an already-correct implementation:
+// the verdict must be repairable, and applying the (possibly different)
+// replacement must preserve equivalence.
+func TestRepairNoFault(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		seed := xcheck.DeriveSeed(4, "repair-clean", i)
+		ni := xcheck.GenNet(seed)
+		impl := ni.Net.Clone()
+		res, err := Repair(impl, ni.Net, ni.Suspect)
+		if err != nil {
+			t.Fatalf("seed=%d: repair: %v", seed, err)
+		}
+		if !res.Repaired {
+			t.Fatalf("seed=%d: correct network reported unrepairable", seed)
+		}
+		if err := Apply(impl, ni.Suspect, res); err != nil {
+			t.Fatalf("seed=%d: apply: %v", seed, err)
+		}
+		if eq, err := netlist.EquivalentBDD(impl, ni.Net); err != nil || !eq {
+			t.Fatalf("seed=%d: equivalence lost after no-op repair (eq=%v err=%v)",
+				seed, eq, err)
+		}
+	}
+}

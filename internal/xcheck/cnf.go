@@ -1,0 +1,190 @@
+package xcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"vlsicad/internal/bdd"
+	"vlsicad/internal/sat"
+)
+
+// CNFInstance is a SAT test case: a CNF formula small enough that its
+// BDD is an independent oracle for the CDCL solver.
+type CNFInstance struct {
+	Seed    uint64
+	NVars   int
+	Clauses [][]sat.Lit
+}
+
+// Domain implements Instance.
+func (ci *CNFInstance) Domain() string { return "cnf" }
+
+// InstanceSeed implements Instance.
+func (ci *CNFInstance) InstanceSeed() uint64 { return ci.Seed }
+
+// Dump implements Instance: DIMACS body with an xcheck header.
+func (ci *CNFInstance) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "xcheck cnf v1\nseed %d\np cnf %d %d\n", ci.Seed, ci.NVars, len(ci.Clauses))
+	for _, cl := range ci.Clauses {
+		for _, l := range cl {
+			fmt.Fprintf(&b, "%s ", l)
+		}
+		b.WriteString("0\n")
+	}
+	return b.String()
+}
+
+// GenCNF generates a CNF instance: 3..12 variables and a clause count
+// spanning the under- and over-constrained regimes, with clause widths
+// 1..4. Duplicate and tautological clauses are allowed on purpose —
+// the engines must agree on those too.
+func GenCNF(seed uint64) *CNFInstance {
+	rng := NewRNG(seed)
+	nv := rng.Range(3, 12)
+	nc := rng.Range(1, 5*nv)
+	inst := &CNFInstance{Seed: seed, NVars: nv}
+	for i := 0; i < nc; i++ {
+		width := rng.Range(1, 4)
+		cl := make([]sat.Lit, 0, width)
+		for j := 0; j < width; j++ {
+			v := rng.Intn(nv)
+			if rng.Bool() {
+				cl = append(cl, sat.NegLit(v))
+			} else {
+				cl = append(cl, sat.PosLit(v))
+			}
+		}
+		inst.Clauses = append(inst.Clauses, cl)
+	}
+	return inst
+}
+
+// solverFor loads the instance into a fresh solver with the given
+// ablation options.
+func solverFor(ci *CNFInstance, opts sat.Opts) *sat.Solver {
+	s := sat.NewWithOpts(opts)
+	for i := 0; i < ci.NVars; i++ {
+		s.NewVar()
+	}
+	for _, cl := range ci.Clauses {
+		s.AddClause(cl...)
+	}
+	return s
+}
+
+// CheckCNF cross-validates the SAT stack on one instance:
+//
+//	CDCL verdict        vs  BDD satisfiability     (independent oracle)
+//	CDCL ablations      vs  full CDCL              (same verdict)
+//	returned model      vs  direct clause check    (witness validity)
+//	BDD AnySat witness  vs  direct clause check    (both directions)
+func (c *Checker) CheckCNF(ci *CNFInstance) []Mismatch {
+	var out []Mismatch
+	bad := func(format string, args ...interface{}) {
+		out = append(out, Mismatch{Domain: "cnf", Seed: ci.Seed,
+			Detail: fmt.Sprintf(format, args...), Dump: ci.Dump()})
+	}
+
+	// Evaluate the formula directly on an assignment.
+	evalCNF := func(assign []bool) bool {
+		for _, cl := range ci.Clauses {
+			ok := false
+			for _, l := range cl {
+				if assign[l.Var()] != l.Sign() {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	// BDD of the conjunction — the independent reference verdict.
+	m := bdd.New(ci.NVars)
+	formula := m.True()
+	for _, cl := range ci.Clauses {
+		clause := m.False()
+		for _, l := range cl {
+			if l.Sign() {
+				clause = m.Or(clause, m.NVar(l.Var()))
+			} else {
+				clause = m.Or(clause, m.Var(l.Var()))
+			}
+		}
+		formula = m.And(formula, clause)
+	}
+	refSat := formula != m.False()
+
+	variants := []struct {
+		name string
+		opts sat.Opts
+	}{
+		{"cdcl", sat.Opts{}},
+		{"no-vsids", sat.Opts{NoVSIDS: true}},
+		{"no-learning", sat.Opts{NoLearning: true}},
+		{"no-restarts", sat.Opts{NoRestarts: true}},
+	}
+	for _, v := range variants {
+		s := solverFor(ci, v.opts)
+		status := s.Solve()
+		switch status {
+		case sat.Sat:
+			if !refSat {
+				bad("%s says SAT but the BDD is unsatisfiable", v.name)
+			}
+			model := s.Model()
+			if len(model) < ci.NVars {
+				bad("%s model has %d vars, want %d", v.name, len(model), ci.NVars)
+			} else if !evalCNF(model[:ci.NVars]) {
+				bad("%s returned a model that violates a clause", v.name)
+			}
+		case sat.Unsat:
+			if refSat {
+				bad("%s says UNSAT but the BDD is satisfiable", v.name)
+			}
+		default:
+			bad("%s returned UNKNOWN on an unbounded solve", v.name)
+		}
+	}
+
+	// BDD witness must satisfy the clauses directly.
+	if refSat {
+		w, ok := m.AnySat(formula)
+		if !ok {
+			bad("BDD is non-false but AnySat found no witness")
+		} else {
+			assign := make([]bool, ci.NVars)
+			for i := 0; i < ci.NVars && i < len(w); i++ {
+				assign[i] = w[i] == 1
+			}
+			if !evalCNF(assign) {
+				bad("BDD AnySat witness violates a clause")
+			}
+		}
+	}
+
+	// Model counting against exhaustive enumeration.
+	count := 0
+	assign := make([]bool, ci.NVars)
+	for mt := uint(0); mt < 1<<uint(ci.NVars); mt++ {
+		for i := 0; i < ci.NVars; i++ {
+			assign[i] = mt&(1<<uint(i)) != 0
+		}
+		if evalCNF(assign) {
+			count++
+		}
+	}
+	if got := int(m.SatCount(formula)); got != count {
+		bad("BDD SatCount=%d but exhaustive enumeration finds %d", got, count)
+	}
+	if refSat != (count > 0) {
+		bad("BDD verdict %v but exhaustive enumeration finds %d models", refSat, count)
+	}
+
+	c.note("cnf", ci.Seed, out)
+	return out
+}

@@ -1,0 +1,62 @@
+package xcheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vlsicad/internal/obs"
+)
+
+// corpusDir locates the checked-in golden corpus relative to this
+// package.
+const corpusDir = "../../testdata/xcheck"
+
+// TestCorpusReplay regenerates every golden-corpus instance from the
+// manifest's master seed, requires byte-identical dumps (determinism),
+// and sweeps every oracle (zero cross-engine mismatches). This is the
+// acceptance gate every future engine change must keep green.
+func TestCorpusReplay(t *testing.T) {
+	if _, err := os.Stat(filepath.Join(corpusDir, ManifestName)); err != nil {
+		t.Fatalf("golden corpus missing (regenerate with `go run ./cmd/xcheckgen`): %v", err)
+	}
+	c := &Checker{Obs: obs.NewObserver(nil)}
+	total, mismatches, err := c.VerifyCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Errorf("%v", m)
+	}
+	want := 0
+	for _, d := range DefaultSpec() {
+		want += d.Count
+	}
+	if total != want {
+		t.Errorf("corpus has %d instances, want %d", total, want)
+	}
+	t.Logf("replayed %d instances, %d mismatches", total, len(mismatches))
+}
+
+// TestCorpusMatchesDefaultSpec ensures the manifest on disk was
+// generated from the in-code composition and master seed, so the
+// corpus and the fuzz seed stream stay in lock-step.
+func TestCorpusMatchesDefaultSpec(t *testing.T) {
+	master, spec, err := ReadManifest(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if master != CorpusMasterSeed {
+		t.Errorf("manifest master seed %d, want %d", master, CorpusMasterSeed)
+	}
+	def := DefaultSpec()
+	if len(spec) != len(def) {
+		t.Fatalf("manifest has %d domains, spec has %d", len(spec), len(def))
+	}
+	for i := range def {
+		if spec[i].Name != def[i].Name || spec[i].Count != def[i].Count {
+			t.Errorf("domain %d: manifest %s/%d, spec %s/%d",
+				i, spec[i].Name, spec[i].Count, def[i].Name, def[i].Count)
+		}
+	}
+}

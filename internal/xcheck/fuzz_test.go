@@ -1,0 +1,54 @@
+package xcheck
+
+import "testing"
+
+// The fuzz targets drive the cross-engine oracles from a single
+// fuzzed seed: the generators turn the seed into a structured
+// instance, so the fuzzer explores instance space without needing a
+// structured corpus format. Seed corpus entries mirror the golden
+// corpus (same DeriveSeed stream) plus the first repro the harness
+// ever caught.
+
+// seedCorpus adds the golden corpus seeds of one domain.
+func seedCorpus(f *testing.F, domain string) {
+	f.Helper()
+	for _, d := range DefaultSpec() {
+		if d.Name != domain {
+			continue
+		}
+		for i := 0; i < d.Count; i++ {
+			f.Add(DeriveSeed(CorpusMasterSeed, domain, i))
+		}
+	}
+}
+
+func FuzzCoverMinimize(f *testing.F) {
+	seedCorpus(f, "cover")
+	f.Add(uint64(1007)) // xcheck: repro seed=1007 (parallel-REDUCE bug)
+	c := &Checker{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, m := range c.CheckCover(GenCover(seed)) {
+			t.Errorf("%v", m)
+		}
+	})
+}
+
+func FuzzSATvsBDD(f *testing.F) {
+	seedCorpus(f, "cnf")
+	c := &Checker{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, m := range c.CheckCNF(GenCNF(seed)) {
+			t.Errorf("%v", m)
+		}
+	})
+}
+
+func FuzzRoute(f *testing.F) {
+	seedCorpus(f, "route")
+	c := &Checker{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, m := range c.CheckRoute(GenRoute(seed)) {
+			t.Errorf("%v", m)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package xcheck
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"vlsicad/internal/linsolve"
+)
+
+// SPDInstance is a symmetric positive-definite (strictly diagonally
+// dominant) linear system Ax = b — the substrate of the Ax=b portal
+// and the quadratic placer.
+type SPDInstance struct {
+	Seed uint64
+	N    int
+	A    [][]float64 // dense symmetric, row-major
+	B    []float64
+}
+
+// Domain implements Instance.
+func (si *SPDInstance) Domain() string { return "spd" }
+
+// InstanceSeed implements Instance.
+func (si *SPDInstance) InstanceSeed() uint64 { return si.Seed }
+
+// Dump implements Instance. Floats print with strconv 'g'/-1, the
+// shortest exact round-trip form, so dumps are byte-stable.
+func (si *SPDInstance) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "xcheck spd v1\nseed %d\nn %d\n", si.Seed, si.N)
+	for _, row := range si.A {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("b\n")
+	for j, v := range si.B {
+		if j > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Sparse converts the dense matrix to the solver's sparse form.
+func (si *SPDInstance) Sparse() *linsolve.Sparse {
+	a := linsolve.NewSparse(si.N)
+	for i := 0; i < si.N; i++ {
+		for j := 0; j < si.N; j++ {
+			if si.A[i][j] != 0 {
+				a.Add(i, j, si.A[i][j])
+			}
+		}
+	}
+	return a
+}
+
+// GenSPD generates a strictly diagonally dominant symmetric system of
+// 2..12 unknowns with ~half the off-diagonal entries zero. Values are
+// quantized to 1/64ths so the dense reference and the iterative
+// solvers see exactly representable inputs.
+func GenSPD(seed uint64) *SPDInstance {
+	rng := NewRNG(seed)
+	n := rng.Range(2, 12)
+	si := &SPDInstance{Seed: seed, N: n, B: make([]float64, n)}
+	si.A = make([][]float64, n)
+	for i := range si.A {
+		si.A[i] = make([]float64, n)
+	}
+	q := func() float64 { return float64(rng.Range(-64, 64)) / 64 }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Bool() {
+				v := q()
+				si.A[i][j] = v
+				si.A[j][i] = v
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				row += math.Abs(si.A[i][j])
+			}
+		}
+		si.A[i][i] = row + 1 + float64(rng.Range(0, 128))/64
+		si.B[i] = float64(rng.Range(-256, 256)) / 64
+	}
+	return si
+}
+
+// CheckSPD cross-validates the linear-solver stack on one instance:
+//
+//	linsolve.CG           vs  linsolve.SolveDense   (Krylov vs Gaussian)
+//	linsolve.Jacobi       vs  linsolve.SolveDense   (stationary vs direct)
+//	linsolve.GaussSeidel  vs  linsolve.SolveDense
+//	dense solution        vs  residual ‖Ax−b‖/‖b‖   (self-consistency)
+//
+// Tolerance: 1e-6 relative on the max-norm of the solution; the
+// iterative solvers run at tol 1e-10 so discretization, not
+// convergence, dominates the comparison.
+func (c *Checker) CheckSPD(si *SPDInstance) []Mismatch {
+	var out []Mismatch
+	bad := func(format string, args ...interface{}) {
+		out = append(out, Mismatch{Domain: "spd", Seed: si.Seed,
+			Detail: fmt.Sprintf(format, args...), Dump: si.Dump()})
+	}
+
+	// Dense reference (SolveDense mutates its inputs: pass copies).
+	ac := make([][]float64, si.N)
+	for i, row := range si.A {
+		ac[i] = append([]float64(nil), row...)
+	}
+	ref, err := linsolve.SolveDense(ac, append([]float64(nil), si.B...))
+	if err != nil {
+		bad("SolveDense failed on an SPD system: %v", err)
+		c.note("spd", si.Seed, out)
+		return out
+	}
+
+	scale := 1.0
+	for _, v := range ref {
+		if math.Abs(v) > scale {
+			scale = math.Abs(v)
+		}
+	}
+	// Residual self-check of the reference.
+	res := 0.0
+	bn := 0.0
+	for i := 0; i < si.N; i++ {
+		s := -si.B[i]
+		for j := 0; j < si.N; j++ {
+			s += si.A[i][j] * ref[j]
+		}
+		res += s * s
+		bn += si.B[i] * si.B[i]
+	}
+	if bn > 0 && math.Sqrt(res/bn) > 1e-9 {
+		bad("SolveDense residual %g exceeds 1e-9", math.Sqrt(res/bn))
+	}
+
+	sp := si.Sparse()
+	iter := []struct {
+		name  string
+		solve func() ([]float64, linsolve.Result)
+	}{
+		{"cg", func() ([]float64, linsolve.Result) { return linsolve.CG(sp, si.B, 1e-10, 10000) }},
+		{"jacobi", func() ([]float64, linsolve.Result) { return linsolve.Jacobi(sp, si.B, 1e-10, 100000) }},
+		{"gauss-seidel", func() ([]float64, linsolve.Result) { return linsolve.GaussSeidel(sp, si.B, 1e-10, 100000) }},
+	}
+	for _, it := range iter {
+		x, r := it.solve()
+		if !r.Converged {
+			bad("%s did not converge on a diagonally dominant system (residual %g)", it.name, r.Residual)
+			continue
+		}
+		for i := range x {
+			if math.Abs(x[i]-ref[i])/scale > 1e-6 {
+				bad("%s x[%d]=%g differs from dense reference %g", it.name, i, x[i], ref[i])
+				break
+			}
+		}
+	}
+
+	c.note("spd", si.Seed, out)
+	return out
+}

@@ -1,0 +1,265 @@
+package xcheck
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"vlsicad/internal/linsolve"
+	"vlsicad/internal/place"
+)
+
+// PlaceInstance is a quadratic-placement test case: movable cells,
+// fixed pads, and nets inside a rectangular region. The generator
+// guarantees every cell is (transitively) anchored to a pad, so the
+// clique-model system is non-singular.
+type PlaceInstance struct {
+	Seed    uint64
+	Problem *place.Problem
+}
+
+// Domain implements Instance.
+func (pi *PlaceInstance) Domain() string { return "place" }
+
+// InstanceSeed implements Instance.
+func (pi *PlaceInstance) InstanceSeed() uint64 { return pi.Seed }
+
+// Dump implements Instance.
+func (pi *PlaceInstance) Dump() string {
+	p := pi.Problem
+	var b strings.Builder
+	fmt.Fprintf(&b, "xcheck place v1\nseed %d\ncells %d\nregion %s %s\npads %d\n",
+		pi.Seed, p.NCells, ftoa(p.W), ftoa(p.H), len(p.Pads))
+	for _, pd := range p.Pads {
+		fmt.Fprintf(&b, "%s %s %s\n", pd.Name, ftoa(pd.X), ftoa(pd.Y))
+	}
+	fmt.Fprintf(&b, "nets %d\n", len(p.Nets))
+	for _, n := range p.Nets {
+		fmt.Fprintf(&b, "w=%s cells=%v pads=%v\n", ftoa(n.Weight), n.Cells, n.Pads)
+	}
+	return b.String()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// GenPlace generates a placement instance: 2..10 cells, 1..4 boundary
+// pads, and 2..8 random nets, then adds anchor nets so no connected
+// component of cells floats free of every pad.
+func GenPlace(seed uint64) *PlaceInstance {
+	rng := NewRNG(seed)
+	nc := rng.Range(2, 10)
+	np := rng.Range(1, 4)
+	p := &place.Problem{
+		NCells: nc,
+		W:      float64(rng.Range(8, 16)),
+		H:      float64(rng.Range(8, 16)),
+	}
+	for i := 0; i < np; i++ {
+		p.Pads = append(p.Pads, place.Pad{
+			Name: fmt.Sprintf("p%d", i),
+			X:    float64(rng.Range(0, int(p.W)*8)) / 8,
+			Y:    float64(rng.Range(0, int(p.H)*8)) / 8,
+		})
+	}
+	nn := rng.Range(2, 8)
+	for i := 0; i < nn; i++ {
+		var net place.Net
+		pins := rng.Range(2, 4)
+		for j := 0; j < pins; j++ {
+			if rng.Intn(4) == 0 {
+				net.Pads = append(net.Pads, rng.Intn(np))
+			} else {
+				net.Cells = append(net.Cells, rng.Intn(nc))
+			}
+		}
+		if len(net.Cells)+len(net.Pads) < 2 {
+			continue
+		}
+		net.Weight = float64(rng.Intn(3)) // 0 exercises the default weight
+		p.Nets = append(p.Nets, net)
+	}
+
+	// Anchor floating components: union-find over cells, where a net
+	// touching any pad grounds all its cells.
+	parent := make([]int, nc+1) // index nc = "grounded"
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, n := range p.Nets {
+		if len(n.Cells) == 0 {
+			continue
+		}
+		for _, c := range n.Cells[1:] {
+			union(n.Cells[0], c)
+		}
+		if len(n.Pads) > 0 {
+			union(n.Cells[0], nc)
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if find(c) != find(nc) {
+			p.Nets = append(p.Nets, place.Net{Cells: []int{c}, Pads: []int{rng.Intn(np)}})
+			union(c, nc)
+		}
+	}
+	return &PlaceInstance{Seed: seed, Problem: p}
+}
+
+// cliqueSystem builds the full-chip clique-model normal equations
+// independently of internal/place: pads are fixed anchors, every net
+// of k pins contributes weight·2/k springs between all pin pairs.
+func cliqueSystem(p *place.Problem) (a [][]float64, bx, by []float64) {
+	n := p.NCells
+	a = make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	bx = make([]float64, n)
+	by = make([]float64, n)
+	for _, net := range p.Nets {
+		k := len(net.Cells) + len(net.Pads)
+		if k < 2 {
+			continue
+		}
+		w := net.Weight
+		if w == 0 {
+			w = 1
+		}
+		w *= 2 / float64(k)
+		type pin struct {
+			cell int
+			x, y float64
+		}
+		var pins []pin
+		for _, c := range net.Cells {
+			pins = append(pins, pin{cell: c})
+		}
+		for _, pd := range net.Pads {
+			pins = append(pins, pin{cell: -1, x: p.Pads[pd].X, y: p.Pads[pd].Y})
+		}
+		for i := 0; i < len(pins); i++ {
+			for j := i + 1; j < len(pins); j++ {
+				pi, pj := pins[i], pins[j]
+				switch {
+				case pi.cell >= 0 && pj.cell >= 0:
+					a[pi.cell][pi.cell] += w
+					a[pj.cell][pj.cell] += w
+					a[pi.cell][pj.cell] -= w
+					a[pj.cell][pi.cell] -= w
+				case pi.cell >= 0:
+					a[pi.cell][pi.cell] += w
+					bx[pi.cell] += w * pj.x
+					by[pi.cell] += w * pj.y
+				case pj.cell >= 0:
+					a[pj.cell][pj.cell] += w
+					bx[pj.cell] += w * pi.x
+					by[pj.cell] += w * pi.y
+				}
+			}
+		}
+	}
+	return a, bx, by
+}
+
+// CheckPlace cross-validates the placement stack on one instance:
+//
+//	linsolve.CG on the clique system  vs  dense Gaussian elimination
+//	place.Quadratic output            vs  region bounds (legality)
+//	place.Quadratic quadratic WL      vs  unconstrained optimum
+//	                                      (can never be beaten)
+func (c *Checker) CheckPlace(pi *PlaceInstance) []Mismatch {
+	var out []Mismatch
+	bad := func(format string, args ...interface{}) {
+		out = append(out, Mismatch{Domain: "place", Seed: pi.Seed,
+			Detail: fmt.Sprintf(format, args...), Dump: pi.Dump()})
+	}
+	p := pi.Problem
+	if err := p.Validate(); err != nil {
+		bad("generated problem fails Validate: %v", err)
+		c.note("place", pi.Seed, out)
+		return out
+	}
+
+	a, bx, by := cliqueSystem(p)
+	copyMat := func() [][]float64 {
+		m := make([][]float64, len(a))
+		for i, row := range a {
+			m[i] = append([]float64(nil), row...)
+		}
+		return m
+	}
+	xs, errX := linsolve.SolveDense(copyMat(), append([]float64(nil), bx...))
+	ys, errY := linsolve.SolveDense(copyMat(), append([]float64(nil), by...))
+	if errX != nil || errY != nil {
+		bad("dense solve failed on an anchored clique system: %v / %v", errX, errY)
+		c.note("place", pi.Seed, out)
+		return out
+	}
+	star := &place.Placement{X: xs, Y: ys}
+
+	// CG on the same system must match the dense reference.
+	sp := linsolve.NewSparse(p.NCells)
+	for i, row := range a {
+		for j, v := range row {
+			if v != 0 {
+				sp.Add(i, j, v)
+			}
+		}
+	}
+	cgx, resX := linsolve.CG(sp, bx, 1e-10, 10000)
+	cgy, resY := linsolve.CG(sp, by, 1e-10, 10000)
+	if !resX.Converged || !resY.Converged {
+		bad("CG did not converge on the clique system (res %g / %g)", resX.Residual, resY.Residual)
+	} else {
+		for i := 0; i < p.NCells; i++ {
+			if math.Abs(cgx[i]-xs[i]) > 1e-5 || math.Abs(cgy[i]-ys[i]) > 1e-5 {
+				bad("CG cell %d at (%g, %g), dense reference (%g, %g)", i, cgx[i], cgy[i], xs[i], ys[i])
+				break
+			}
+		}
+	}
+
+	// The unconstrained optimum lies in the convex hull of the pads,
+	// hence inside the region.
+	for i := 0; i < p.NCells; i++ {
+		if xs[i] < -1e-9 || xs[i] > p.W+1e-9 || ys[i] < -1e-9 || ys[i] > p.H+1e-9 {
+			bad("unconstrained optimum places cell %d at (%g, %g) outside %gx%g — hull property violated",
+				i, xs[i], ys[i], p.W, p.H)
+			break
+		}
+	}
+
+	pl, err := place.Quadratic(p, place.QuadraticOpts{})
+	if err != nil {
+		bad("place.Quadratic failed: %v", err)
+		c.note("place", pi.Seed, out)
+		return out
+	}
+	for i := 0; i < p.NCells; i++ {
+		if pl.X[i] < -1e-9 || pl.X[i] > p.W+1e-9 || pl.Y[i] < -1e-9 || pl.Y[i] > p.H+1e-9 {
+			bad("Quadratic places cell %d at (%g, %g) outside the %gx%g region", i, pl.X[i], pl.Y[i], p.W, p.H)
+			break
+		}
+	}
+	optWL := p.QuadraticWL(star)
+	gotWL := p.QuadraticWL(pl)
+	if gotWL < optWL-1e-6*(1+math.Abs(optWL)) {
+		bad("Quadratic WL %g beats the unconstrained optimum %g", gotWL, optWL)
+	}
+	if hp := p.HPWL(pl); math.IsNaN(hp) || math.IsInf(hp, 0) || hp < 0 {
+		bad("HPWL of the placement is %g", hp)
+	}
+
+	c.note("place", pi.Seed, out)
+	return out
+}

@@ -1,0 +1,73 @@
+package xcheck
+
+// RNG is a SplitMix64 pseudo-random generator. The harness does not
+// use math/rand because corpus files must be byte-identical across Go
+// releases; SplitMix64 is a fixed published algorithm (Steele, Lea &
+// Flood, OOPSLA 2014) with no library dependency.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xcheck: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a pseudo-random int in [lo, hi] inclusive.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("xcheck: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random bit.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm returns a pseudo-random permutation of 0..n-1 (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// DeriveSeed maps (master seed, domain, index) to an instance seed.
+// The corpus generator and the corpus replay test both use it, so a
+// corpus is fully determined by its master seed.
+func DeriveSeed(master uint64, domain string, index int) uint64 {
+	// FNV-1a over the domain name, folded with the master and index
+	// through one SplitMix64 scramble step each.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= 1099511628211
+	}
+	r := NewRNG(master ^ h ^ (uint64(index) * 0x2545f4914f6cdd1d))
+	return r.Uint64()
+}

@@ -1,0 +1,192 @@
+package xcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"vlsicad/internal/route"
+)
+
+// RouteInstance is a maze-routing test case: a two-layer grid with
+// obstacles, a cost model, and one two-pin net.
+type RouteInstance struct {
+	Seed    uint64
+	W, H    int
+	Cost    route.Cost
+	Blocked []route.Point
+	Net     route.Net
+}
+
+// Domain implements Instance.
+func (ri *RouteInstance) Domain() string { return "route" }
+
+// InstanceSeed implements Instance.
+func (ri *RouteInstance) InstanceSeed() uint64 { return ri.Seed }
+
+// Dump implements Instance.
+func (ri *RouteInstance) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "xcheck route v1\nseed %d\ngrid %d %d\ncost %d %d %d\n",
+		ri.Seed, ri.W, ri.H, ri.Cost.Unit, ri.Cost.NonPref, ri.Cost.Via)
+	fmt.Fprintf(&b, "net %d %d %d  %d %d %d\n",
+		ri.Net.A.X, ri.Net.A.Y, ri.Net.A.L, ri.Net.B.X, ri.Net.B.Y, ri.Net.B.L)
+	fmt.Fprintf(&b, "blocked %d\n", len(ri.Blocked))
+	for _, p := range ri.Blocked {
+		fmt.Fprintf(&b, "%d %d %d\n", p.X, p.Y, p.L)
+	}
+	return b.String()
+}
+
+// Grid materializes the instance's routing grid.
+func (ri *RouteInstance) Grid() *route.Grid {
+	g := route.NewGrid(ri.W, ri.H, ri.Cost)
+	for _, p := range ri.Blocked {
+		g.Block(p)
+	}
+	return g
+}
+
+// GenRoute generates a routing instance: a 4..12 × 4..12 grid, a cost
+// model spanning the course's settings (including zero via cost and
+// heavy non-preferred penalties), ~20% blocked cells, and one net with
+// distinct pins. Pins may land on blocked cells: the router must treat
+// a net's own pins as usable.
+func GenRoute(seed uint64) *RouteInstance {
+	rng := NewRNG(seed)
+	ri := &RouteInstance{
+		Seed: seed,
+		W:    rng.Range(4, 12),
+		H:    rng.Range(4, 12),
+		Cost: route.Cost{
+			Unit:    rng.Range(1, 3),
+			NonPref: rng.Range(0, 4),
+			Via:     rng.Range(0, 12),
+		},
+	}
+	nblock := rng.Intn(ri.W * ri.H * route.Layers / 5)
+	seen := map[route.Point]bool{}
+	for i := 0; i < nblock; i++ {
+		p := route.Point{X: rng.Intn(ri.W), Y: rng.Intn(ri.H), L: rng.Intn(route.Layers)}
+		if !seen[p] {
+			seen[p] = true
+			ri.Blocked = append(ri.Blocked, p)
+		}
+	}
+	a := route.Point{X: rng.Intn(ri.W), Y: rng.Intn(ri.H), L: rng.Intn(route.Layers)}
+	b := a
+	for b == a {
+		b = route.Point{X: rng.Intn(ri.W), Y: rng.Intn(ri.H), L: rng.Intn(route.Layers)}
+	}
+	ri.Net = route.Net{Name: "n", A: a, B: b}
+	return ri
+}
+
+// refShortestPath is the harness's independent reference: a plain
+// O(V²) Dijkstra over the expanded (x, y, layer) graph with no
+// priority queue and no heuristic, sharing only the grid's public
+// cost/legality model. It returns the optimal cost and whether the
+// net is routable.
+func refShortestPath(g *route.Grid, net route.Net) (int, bool) {
+	type key = route.Point
+	const inf = int(^uint(0) >> 1)
+	usable := func(p key) bool {
+		if p == net.A || p == net.B {
+			return g.In(p)
+		}
+		return !g.Blocked(p)
+	}
+	dist := map[key]int{net.A: 0}
+	done := map[key]bool{}
+	for {
+		// Select the unfinished vertex with the smallest distance,
+		// breaking ties deterministically by coordinates.
+		best, bestD := key{}, inf
+		for p, d := range dist {
+			if done[p] || d > bestD {
+				continue
+			}
+			if d < bestD || less(p, best) {
+				best, bestD = p, d
+			}
+		}
+		if bestD == inf {
+			return 0, false
+		}
+		if best == net.B {
+			return bestD, true
+		}
+		done[best] = true
+		for _, q := range [...]key{
+			{X: best.X + 1, Y: best.Y, L: best.L}, {X: best.X - 1, Y: best.Y, L: best.L},
+			{X: best.X, Y: best.Y + 1, L: best.L}, {X: best.X, Y: best.Y - 1, L: best.L},
+			{X: best.X, Y: best.Y, L: 1 - best.L},
+		} {
+			if !g.In(q) || !usable(q) || done[q] {
+				continue
+			}
+			sc := g.StepCost(best, q)
+			if sc < 0 {
+				continue
+			}
+			if d, ok := dist[q]; !ok || bestD+sc < d {
+				dist[q] = bestD + sc
+			}
+		}
+	}
+}
+
+func less(a, b route.Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.L < b.L
+}
+
+// CheckRoute cross-validates the maze router on one instance:
+//
+//	route.RouteNet Dijkstra  vs  reference Dijkstra   (cost optimality)
+//	route.RouteNet A*        vs  reference Dijkstra   (admissibility)
+//	returned path            vs  route.Validate       (legality)
+//	returned cost            vs  route.PathCost       (self-consistency)
+func (c *Checker) CheckRoute(ri *RouteInstance) []Mismatch {
+	var out []Mismatch
+	bad := func(format string, args ...interface{}) {
+		out = append(out, Mismatch{Domain: "route", Seed: ri.Seed,
+			Detail: fmt.Sprintf(format, args...), Dump: ri.Dump()})
+	}
+
+	g := ri.Grid()
+	refCost, refOK := refShortestPath(g, ri.Net)
+
+	for _, alg := range []struct {
+		name string
+		alg  route.Algorithm
+	}{{"dijkstra", route.Dijkstra}, {"astar", route.AStar}} {
+		path, cost, _, err := route.RouteNet(g, ri.Net, alg.alg)
+		if !refOK {
+			if err == nil {
+				bad("%s routed an unroutable net (cost %d)", alg.name, cost)
+			}
+			continue
+		}
+		if err != nil {
+			bad("%s failed on a routable net (reference cost %d): %v", alg.name, refCost, err)
+			continue
+		}
+		if cost != refCost {
+			bad("%s cost %d differs from reference Dijkstra %d", alg.name, cost, refCost)
+		}
+		if err := route.Validate(g, ri.Net, path); err != nil {
+			bad("%s produced an illegal path: %v", alg.name, err)
+		}
+		if pc := route.PathCost(g, path); pc != cost {
+			bad("%s reported cost %d but PathCost recomputes %d", alg.name, cost, pc)
+		}
+	}
+
+	c.note("route", ri.Seed, out)
+	return out
+}

@@ -1,0 +1,102 @@
+// Package xcheck is the cross-engine differential-testing and fuzzing
+// harness for the course's EDA engines. The paper's tool portals (URP,
+// kbdd, Espresso, miniSAT) and the four auto-graded projects are all
+// views of the same underlying mathematics — a cover, its BDD, its CNF
+// encoding and its minimized form denote one Boolean function; a maze
+// route and a Dijkstra reference must agree on optimal cost; a
+// quadratic placement can never beat the unconstrained optimum its
+// linear system defines. xcheck generates seeded random instances of
+// each substrate, runs every independent engine on them, and reports
+// any disagreement as a self-contained repro (seed + instance dump).
+//
+// The harness backs three consumers:
+//
+//   - the golden corpus under testdata/xcheck/ replayed by
+//     `go test ./internal/xcheck -run Corpus` (byte-identical
+//     regeneration plus a zero-mismatch sweep),
+//   - the Go native fuzz targets (FuzzCoverMinimize, FuzzSATvsBDD,
+//     FuzzRoute) seeded from the corpus, and
+//   - regression sentinels for future performance work: any engine
+//     rewrite must keep the corpus sweep clean.
+package xcheck
+
+import (
+	"fmt"
+
+	"vlsicad/internal/obs"
+)
+
+// Mismatch is one cross-engine disagreement, self-contained enough to
+// reproduce: regenerate the instance from Seed and rerun the named
+// oracle, or paste Dump into the matching parser.
+type Mismatch struct {
+	Domain string // "cover", "cnf", "route", "place", "spd", "net"
+	Seed   uint64 // instance seed (regenerate with Gen<Domain>(seed))
+	Detail string // which engines disagreed and how
+	Dump   string // deterministic instance dump
+}
+
+// Error renders the mismatch as the harness's canonical repro line.
+func (m Mismatch) Error() string {
+	return fmt.Sprintf("xcheck: repro seed=%d domain=%s: %s\ninstance:\n%s",
+		m.Seed, m.Domain, m.Detail, m.Dump)
+}
+
+// Checker runs the per-domain oracles and counts instances and
+// mismatches through internal/obs, so a long fuzz or corpus run
+// doubles as a telemetry source.
+type Checker struct {
+	// Obs receives xcheck.<domain>.instances / .mismatches counters
+	// and one "xcheck.mismatch" event per disagreement. Nil disables
+	// telemetry.
+	Obs *obs.Observer
+}
+
+// note records telemetry for one checked instance.
+func (c *Checker) note(domain string, seed uint64, mismatches []Mismatch) {
+	if c == nil || c.Obs == nil {
+		return
+	}
+	c.Obs.Counter("xcheck." + domain + ".instances").Inc()
+	if len(mismatches) > 0 {
+		c.Obs.Counter("xcheck." + domain + ".mismatches").Add(int64(len(mismatches)))
+		c.Obs.Emit("xcheck.mismatch", map[string]string{
+			"domain": domain,
+			"seed":   fmt.Sprintf("%d", seed),
+			"detail": mismatches[0].Detail,
+		})
+	}
+}
+
+// Check runs the oracle matching the instance's domain. It is the
+// single entry point the corpus sweep and the CLI use.
+func (c *Checker) Check(inst Instance) []Mismatch {
+	switch v := inst.(type) {
+	case *CoverInstance:
+		return c.CheckCover(v)
+	case *CNFInstance:
+		return c.CheckCNF(v)
+	case *RouteInstance:
+		return c.CheckRoute(v)
+	case *SPDInstance:
+		return c.CheckSPD(v)
+	case *PlaceInstance:
+		return c.CheckPlace(v)
+	case *NetInstance:
+		return c.CheckNet(v)
+	default:
+		panic(fmt.Sprintf("xcheck: unknown instance type %T", inst))
+	}
+}
+
+// Instance is one generated test case of any domain.
+type Instance interface {
+	// Domain names the substrate ("cover", "cnf", ...).
+	Domain() string
+	// InstanceSeed returns the seed the instance was generated from.
+	InstanceSeed() uint64
+	// Dump renders the instance deterministically; equal instances
+	// (same domain, same seed, same generator version) produce
+	// byte-identical dumps.
+	Dump() string
+}
