@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench xcheck fuzz corpus
+.PHONY: check vet build test race bench xcheck fuzz corpus chaos
 
 check: vet build race xcheck fuzz bench
 
@@ -36,3 +36,11 @@ fuzz:
 # Regenerate testdata/xcheck from the pinned master seed.
 corpus:
 	$(GO) run ./cmd/xcheckgen -out testdata/xcheck
+
+# Long seeded chaos sweep over the portal job pool (outside the
+# default `make check` budget). Override the seed count with
+# CHAOS_SEEDS=n.
+CHAOS_SEEDS ?= 20
+chaos:
+	PORTAL_CHAOS=1 PORTAL_CHAOS_SEEDS=$(CHAOS_SEEDS) \
+		$(GO) test -race ./internal/portal -run TestChaosSweep -count=1 -v -timeout 20m

@@ -13,21 +13,28 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "axb:", err)
+		return 1
+	}
 	var src []byte
 	var err error
-	if len(os.Args) > 1 {
-		src, err = os.ReadFile(os.Args[1])
+	if len(args) > 0 {
+		src, err = os.ReadFile(args[0])
 	} else {
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "axb:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	out, err := portal.AxbTool().Run(string(src), make(chan struct{}))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "axb:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
+	return 0
 }

@@ -46,106 +46,150 @@ const repairFixture = `
 `
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "grader:", err)
+		return 1
 	}
-	switch os.Args[1] {
+	usage := func() int {
+		fmt.Fprintln(stderr, `usage:
+  grader battery
+  grader urp <on-set cubes...>          (submission on stdin)
+  grader tautology <cubes...> yes|no
+  grader repair                         (replacement cover on stdin)
+  grader placement -case NAME -seed N   (submission on stdin)
+  grader routing -case NAME -seed N     (submissions on stdin)
+  grader batch urp <on-set cubes...>    (submissions on stdin, "---"-separated)`)
+		return 2
+	}
+	readAll := func() (string, error) {
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	}
+	// refPlacement builds the reference legal placement that grades
+	// Project 3 and seeds the Project 4 routing instance.
+	refPlacement := func(c *bench.Case, seed int64) (*place.Problem, *place.Placement, error) {
+		p := bench.Placement(*c, seed)
+		ref, err := place.Quadratic(p, place.QuadraticOpts{})
+		if err != nil {
+			return nil, nil, err
+		}
+		legal, err := place.Legalize(p, ref)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, legal, nil
+	}
+
+	if len(args) < 1 {
+		return usage()
+	}
+	switch args[0] {
 	case "battery":
-		fmt.Print(grader.RunRouterBattery(grader.ReferenceRouter))
+		fmt.Fprint(stdout, grader.RunRouterBattery(grader.ReferenceRouter))
 	case "batch":
-		if len(os.Args) < 4 || os.Args[2] != "urp" {
-			usage()
+		if len(args) < 3 || args[1] != "urp" {
+			return usage()
 		}
-		on, err := cube.ParseCover(os.Args[3:])
+		on, err := cube.ParseCover(args[2:])
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		runBatch(on, readStdin())
+		input, err := readAll()
+		if err != nil {
+			return fail(err)
+		}
+		runBatch(stdout, on, input)
 	case "urp":
-		if len(os.Args) < 3 {
-			usage()
+		if len(args) < 2 {
+			return usage()
 		}
-		on, err := cube.ParseCover(os.Args[2:])
+		on, err := cube.ParseCover(args[1:])
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(grader.GradeURPComplement(on, readStdin()))
+		sub, err := readAll()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, grader.GradeURPComplement(on, sub))
 	case "tautology":
-		if len(os.Args) < 4 {
-			usage()
+		if len(args) < 3 {
+			return usage()
 		}
-		on, err := cube.ParseCover(os.Args[2 : len(os.Args)-1])
+		on, err := cube.ParseCover(args[1 : len(args)-1])
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(grader.GradeURPTautology(on, os.Args[len(os.Args)-1]))
+		fmt.Fprint(stdout, grader.GradeURPTautology(on, args[len(args)-1]))
 	case "repair":
 		// Built-in Project 2 fixture: spec z = ab + c with the AND
 		// node faulted; the submission is the replacement cover for
 		// node "t" over fanins (a, b).
 		spec, err := netlist.ParseBLIF(strings.NewReader(repairFixture))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		impl := spec.Clone()
 		if err := repair.InjectFault(impl, "t"); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(grader.GradeRepair(spec, impl, "t", readStdin()))
-	case "placement":
-		fs := flag.NewFlagSet("placement", flag.ExitOnError)
+		sub, err := readAll()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, grader.GradeRepair(spec, impl, "t", sub))
+	case "placement", "routing":
+		fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
+		fs.SetOutput(stderr)
 		caseName := fs.String("case", "fract", "benchmark case")
 		seed := fs.Int64("seed", 1, "instance seed")
-		fs.Parse(os.Args[2:])
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
 		c := findCase(*caseName)
-		p := bench.Placement(*c, *seed)
-		ref, err := place.Quadratic(p, place.QuadraticOpts{})
-		if err != nil {
-			fatal(err)
+		if c == nil {
+			return fail(fmt.Errorf("unknown case %q", *caseName))
 		}
-		legal, err := place.Legalize(p, ref)
+		p, legal, err := refPlacement(c, *seed)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Print(grader.GradePlacement(p, readStdin(), p.HPWL(legal)))
-	case "routing":
-		fs := flag.NewFlagSet("routing", flag.ExitOnError)
-		caseName := fs.String("case", "fract", "benchmark case")
-		seed := fs.Int64("seed", 1, "instance seed")
-		fs.Parse(os.Args[2:])
-		c := findCase(*caseName)
-		p := bench.Placement(*c, *seed)
-		ref, err := place.Quadratic(p, place.QuadraticOpts{})
+		sub, err := readAll()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		legal, err := place.Legalize(p, ref)
-		if err != nil {
-			fatal(err)
+		if args[0] == "placement" {
+			fmt.Fprint(stdout, grader.GradePlacement(p, sub, p.HPWL(legal)))
+		} else {
+			g, nets := bench.Routing(*c, legal, p, *seed, 0.02)
+			fmt.Fprint(stdout, grader.GradeRouting(g, nets, sub))
 		}
-		g, nets := bench.Routing(*c, legal, p, *seed, 0.02)
-		fmt.Print(grader.GradeRouting(g, nets, readStdin()))
 	default:
-		usage()
+		return usage()
 	}
+	return 0
 }
 
 // runBatch grades every "---"-separated submission as a URP
 // complement of the on-set, then prints each report, the aggregate
 // batch summary, and the grading telemetry.
-func runBatch(on *cube.Cover, input string) {
+func runBatch(w io.Writer, on *cube.Cover, input string) {
 	ob := obs.NewObserver(nil)
 	batch := grader.NewBatch("Project 1: URP complement")
 	for i, sub := range splitSubmissions(input) {
 		rep := grader.GradeURPComplement(on, sub)
-		fmt.Printf("--- submission %d ---\n%s", i+1, rep)
+		fmt.Fprintf(w, "--- submission %d ---\n%s", i+1, rep)
 		batch.Add(rep)
 	}
 	batch.Record(ob)
-	fmt.Println()
-	fmt.Print(batch)
-	fmt.Println("\n=== grading telemetry ===")
-	ob.Snapshot().WriteText(os.Stdout)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, batch)
+	fmt.Fprintln(w, "\n=== grading telemetry ===")
+	ob.Snapshot().WriteText(w)
 }
 
 // splitSubmissions cuts stdin into submissions at lines containing
@@ -179,31 +223,5 @@ func findCase(name string) *bench.Case {
 			return &c
 		}
 	}
-	fatal(fmt.Errorf("unknown case %q", name))
 	return nil
-}
-
-func readStdin() string {
-	b, err := io.ReadAll(os.Stdin)
-	if err != nil {
-		fatal(err)
-	}
-	return string(b)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "grader:", err)
-	os.Exit(1)
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  grader battery
-  grader urp <on-set cubes...>          (submission on stdin)
-  grader tautology <cubes...> yes|no
-  grader repair                         (replacement cover on stdin)
-  grader placement -case NAME -seed N   (submission on stdin)
-  grader routing -case NAME -seed N     (submission on stdin)
-  grader batch urp <on-set cubes...>    (submissions on stdin, "---"-separated)`)
-	os.Exit(2)
 }

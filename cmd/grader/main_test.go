@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runGrader(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestGraderTautology(t *testing.T) {
+	code, out, errb := runGrader(t, "", "tautology", "1-", "0-", "yes")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb)
+	}
+	if out == "" {
+		t.Fatal("empty grading report")
+	}
+}
+
+func TestGraderURPComplement(t *testing.T) {
+	// on-set f = a, correct complement a'.
+	code, out, _ := runGrader(t, "0-\n", "urp", "1-")
+	if code != 0 || out == "" {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestGraderBatch(t *testing.T) {
+	code, out, _ := runGrader(t, "0-\n---\n1-\n", "batch", "urp", "1-")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "submission 2") || !strings.Contains(out, "grading telemetry") {
+		t.Fatalf("batch output = %q", out)
+	}
+}
+
+func TestGraderUsage(t *testing.T) {
+	if code, _, _ := runGrader(t, ""); code != 2 {
+		t.Errorf("no args: code=%d, want 2", code)
+	}
+	if code, _, _ := runGrader(t, "", "frobnicate"); code != 2 {
+		t.Errorf("unknown subcommand: code=%d, want 2", code)
+	}
+	if code, _, _ := runGrader(t, "", "batch", "nope"); code != 2 {
+		t.Errorf("bad batch kind: code=%d, want 2", code)
+	}
+	if code, _, _ := runGrader(t, "", "urp", "1z"); code != 1 {
+		t.Errorf("bad cover: code=%d, want 1", code)
+	}
+	if code, _, _ := runGrader(t, "", "placement", "-case", "nope"); code != 1 {
+		t.Errorf("unknown case: code=%d, want 1", code)
+	}
+}
+
+func TestGraderPlacement(t *testing.T) {
+	// An empty submission still yields a graded report (score 0).
+	code, out, _ := runGrader(t, "", "placement", "-case", "fract")
+	if code != 0 || out == "" {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}

@@ -3,118 +3,254 @@
 // engagement funnel (Figure 8), per-lecture viewership (Figure 9),
 // demographics (Figure 10) and the survey word cloud (Figure 11) —
 // plus a grading-telemetry report (-fig telemetry) aggregating
-// machine grading across a cohort sample, with the obs metrics
-// snapshot the live course staff would watch.
+// machine grading across a cohort sample, and a portal-resilience
+// report (-fig portal) driving the sharded job pool through a seeded
+// fault storm, with the obs metrics snapshot the live course staff
+// would watch.
 //
 // Usage:
 //
-//	moocsim [-fig all|1|2|8|9|10|11|telemetry] [-seed N]
+//	moocsim [-fig all|1|2|8|9|10|11|telemetry|portal] [-seed N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
+	"vlsicad/internal/fault"
 	"vlsicad/internal/mooc"
 	"vlsicad/internal/obs"
+	"vlsicad/internal/portal"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to print: all, 1, 2, 8, 9, 10, 11")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("moocsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "figure to print: all, 1, 2, 8, 9, 10, 11, telemetry, portal")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cohort := mooc.Simulate(mooc.PaperParams(), *seed)
 	show := func(f string) bool { return *fig == "all" || *fig == f }
 
 	if show("1") {
-		fmt.Println("=== Figure 1: concept map (BDD snapshot) ===")
+		fmt.Fprintln(stdout, "=== Figure 1: concept map (BDD snapshot) ===")
 		cm := mooc.ConceptMap()
 		for _, c := range cm {
 			if c.Topic == "BDDs" || c.Topic == "Computational Boolean Algebra" {
-				fmt.Printf("  %-34s %-32s %3d slides\n", c.Topic, c.Name, c.Slides)
+				fmt.Fprintf(stdout, "  %-34s %-32s %3d slides\n", c.Topic, c.Name, c.Slides)
 			}
 		}
 		concepts, slides, _ := mooc.ConceptStats(cm)
-		fmt.Printf("  course total: %d concepts, %d slides\n\n", concepts, slides)
+		fmt.Fprintf(stdout, "  course total: %d concepts, %d slides\n\n", concepts, slides)
 	}
 	if show("2") {
-		fmt.Println("=== Figure 2: MOOC lecture catalog ===")
+		fmt.Fprintln(stdout, "=== Figure 2: MOOC lecture catalog ===")
 		ls := mooc.Lectures()
 		count, hours, avg := mooc.LectureStats(ls)
 		for _, l := range ls {
-			fmt.Printf("  %-5s %-44s %5.1f min\n", l.Index, l.Title, l.Minutes)
+			fmt.Fprintf(stdout, "  %-5s %-44s %5.1f min\n", l.Index, l.Title, l.Minutes)
 		}
-		fmt.Printf("  %d videos, average %.1f minutes, %.2f total hours\n", count, avg, hours)
+		fmt.Fprintf(stdout, "  %d videos, average %.1f minutes, %.2f total hours\n", count, avg, hours)
 		e := mooc.CourseEfficiency()
-		fmt.Printf("  efficiency: %d of %d slides (%.0f%%) in %.0f%% of the lecture time\n\n",
+		fmt.Fprintf(stdout, "  efficiency: %d of %d slides (%.0f%%) in %.0f%% of the lecture time\n\n",
 			e.MOOCSlides, e.TraditionalSlides, 100*e.ContentFraction(), 100*e.TimeFraction())
 	}
 	if show("8") {
-		fmt.Println("=== Figure 8: participation funnel ===")
+		fmt.Fprintln(stdout, "=== Figure 8: participation funnel ===")
 		f := cohort.Funnel()
-		fmt.Printf("  registered participants at peak : %6d\n", f.Registered)
-		fmt.Printf("  watched a video                 : %6d\n", f.WatchedVideo)
-		fmt.Printf("  did a homework                  : %6d\n", f.DidHomework)
-		fmt.Printf("  tried a software assignment     : %6d\n", f.TriedSoftware)
-		fmt.Printf("  took the final exam             : %6d\n", f.TookFinal)
-		fmt.Printf("  statements of accomplishment    : %6d\n", f.Certificates)
+		fmt.Fprintf(stdout, "  registered participants at peak : %6d\n", f.Registered)
+		fmt.Fprintf(stdout, "  watched a video                 : %6d\n", f.WatchedVideo)
+		fmt.Fprintf(stdout, "  did a homework                  : %6d\n", f.DidHomework)
+		fmt.Fprintf(stdout, "  tried a software assignment     : %6d\n", f.TriedSoftware)
+		fmt.Fprintf(stdout, "  took the final exam             : %6d\n", f.TookFinal)
+		fmt.Fprintf(stdout, "  statements of accomplishment    : %6d\n", f.Certificates)
 		low, high := cohort.CompetencyEstimate()
-		fmt.Printf("  serious-EDA-competency estimate : %d .. %d\n\n", low, high)
+		fmt.Fprintf(stdout, "  serious-EDA-competency estimate : %d .. %d\n\n", low, high)
 	}
 	if show("9") {
-		fmt.Println("=== Figure 9: per-lecture viewers (69 videos) ===")
+		fmt.Fprintln(stdout, "=== Figure 9: per-lecture viewers (69 videos) ===")
 		v := cohort.Viewership()
 		for i, n := range v {
 			if i%5 == 0 || i == len(v)-1 {
 				bar := strings.Repeat("#", n/150)
-				fmt.Printf("  lecture %2d: %5d %s\n", i+1, n, bar)
+				fmt.Fprintf(stdout, "  lecture %2d: %5d %s\n", i+1, n, bar)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if show("10") {
-		fmt.Println("=== Figure 10: demographics ===")
+		fmt.Fprintln(stdout, "=== Figure 10: demographics ===")
 		d := cohort.Demographics()
 		total := len(cohort.Participants)
 		for i, name := range d.TopCountries {
 			if i >= 12 {
 				break
 			}
-			fmt.Printf("  %-16s %5.2f%%\n", name, 100*float64(d.ByCountry[name])/float64(total))
+			fmt.Fprintf(stdout, "  %-16s %5.2f%%\n", name, 100*float64(d.ByCountry[name])/float64(total))
 		}
-		fmt.Printf("  average age %.1f (min %d, max %d); female %.0f%%; BS %.0f%%, MS/PhD %.0f%%\n\n",
+		fmt.Fprintf(stdout, "  average age %.1f (min %d, max %d); female %.0f%%; BS %.0f%%, MS/PhD %.0f%%\n\n",
 			d.AvgAge, d.MinAge, d.MaxAge, 100*d.FemaleShare, 100*d.BSShare, 100*d.MSPhDShare)
 	}
 	if show("forum") || *fig == "all" {
-		fmt.Println("=== Section 3: forum activity (3 TAs) ===")
-		fs := cohort.SimulateForum(mooc.DefaultForumParams(), *seed)
-		for _, w := range fs.Weeks {
-			fmt.Printf("  week %2d: %5d active, %4d threads, %4d peer replies, %4d staff replies\n",
+		fmt.Fprintln(stdout, "=== Section 3: forum activity (3 TAs) ===")
+		fsim := cohort.SimulateForum(mooc.DefaultForumParams(), *seed)
+		for _, w := range fsim.Weeks {
+			fmt.Fprintf(stdout, "  week %2d: %5d active, %4d threads, %4d peer replies, %4d staff replies\n",
 				w.Week, w.Active, w.Threads, w.PeerReplies, w.StaffReplies)
 		}
-		fmt.Printf("  total %d threads, %.0f%% staff-answered, %.0f replies per TA\n\n",
-			fs.Threads, 100*fs.AnsweredFraction, fs.StaffPerTA)
+		fmt.Fprintf(stdout, "  total %d threads, %.0f%% staff-answered, %.0f replies per TA\n\n",
+			fsim.Threads, 100*fsim.AnsweredFraction, fsim.StaffPerTA)
 	}
 	if show("11") {
-		fmt.Println("=== Figure 11: survey word cloud (top 20) ===")
+		fmt.Fprintln(stdout, "=== Figure 11: survey word cloud (top 20) ===")
 		wc := mooc.MineWordCloud(mooc.SurveyResponses(1000, *seed))
 		for i, w := range wc {
 			if i >= 20 {
 				break
 			}
-			fmt.Printf("  %-14s %4d\n", w.Word, w.Count)
+			fmt.Fprintf(stdout, "  %-14s %4d\n", w.Word, w.Count)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if show("telemetry") {
-		fmt.Println("=== Section 2.2: grading telemetry (200-participant sample) ===")
+		fmt.Fprintln(stdout, "=== Section 2.2: grading telemetry (200-participant sample) ===")
 		ob := obs.NewObserver(nil)
 		tel := mooc.SimulateGrading(cohort, 4, 200, 3, 0.8, *seed, ob)
-		fmt.Print(tel)
-		fmt.Println("  metrics snapshot:")
-		ob.Snapshot().Metrics.WriteText(os.Stdout)
+		fmt.Fprint(stdout, tel)
+		fmt.Fprintln(stdout, "  metrics snapshot:")
+		ob.Snapshot().Metrics.WriteText(stdout)
 	}
+	if show("portal") {
+		if err := portalStorm(stdout, uint64(*seed)); err != nil {
+			fmt.Fprintln(stderr, "moocsim:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// portalStorm drives the resilient job pool through a seeded fault
+// storm — the operational drill behind the paper's "turn the cloud
+// tools loose on planet earth" deployment. Every course tool is
+// wrapped in a deterministic fault injector; concurrent users submit
+// jobs; the report shows what the isolation machinery absorbed.
+func portalStorm(w io.Writer, seed uint64) error {
+	fmt.Fprintln(w, "=== portal resilience drill (sharded pool, seeded faults) ===")
+	ob := obs.NewObserver(nil)
+	p := portal.NewPool(portal.PoolConfig{
+		Workers:    4,
+		QueueDepth: 64,
+		Timeout:    25 * time.Millisecond,
+		Retry:      portal.RetryPolicy{MaxAttempts: 2, BaseDelay: 200 * time.Microsecond, JitterFrac: 0.5},
+		Breaker:    portal.BreakerConfig{FailureThreshold: 6, Cooldown: 20 * time.Millisecond},
+		Seed:       seed,
+	})
+	defer p.Close()
+	p.SetObserver(ob)
+
+	cfg := fault.Config{Panic: 0.04, Hang: 0.02, Transient: 0.10,
+		Slow: 0.05, Garbage: 0.04, SlowDelay: 200 * time.Microsecond}
+	tools := []portal.Tool{portal.KBDDTool(), portal.EspressoTool(),
+		portal.MiniSATTool(), portal.SISTool(), portal.AxbTool()}
+	injectors := make(map[string]*fault.Injector, len(tools))
+	var names []string
+	for i, t := range tools {
+		inj := fault.Wrap(t, seed+uint64(i)*1000, cfg)
+		injectors[t.Name()] = inj
+		names = append(names, t.Name())
+		if err := p.Register(inj); err != nil {
+			return err
+		}
+	}
+	inputs := map[string]string{
+		"kbdd":     "var a b c\nf = a & b | ~c\nsatcount f\n",
+		"espresso": ".i 3\n.o 1\n111 1\n110 1\n101 1\n011 1\n.e\n",
+		"minisat":  "p cnf 3 4\n1 2 0\n-1 3 0\n-2 3 0\n-3 0\n",
+		"sis":      ".model m\n.inputs a b\n.outputs x\n.names a b x\n11 1\n.end\nprint_stats\n",
+		"axb":      "2 cg\n2 -1\n-1 2\n1 1\n",
+	}
+
+	const users, jobsPerUser = 12, 10
+	var ok, failed, shed, abandoned int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			user := fmt.Sprintf("participant-%03d", u)
+			for j := 0; j < jobsPerUser; j++ {
+				tool := names[(u+j)%len(names)]
+				res, err := p.Submit(user, tool, inputs[tool])
+				mu.Lock()
+				switch {
+				case err != nil:
+					shed++
+				case res.Abandoned:
+					abandoned++
+				case res.Err != "":
+					failed++
+				default:
+					ok++
+				}
+				mu.Unlock()
+			}
+		}(u)
+	}
+	wg.Wait()
+	for _, inj := range injectors {
+		inj.ReleaseHung()
+	}
+
+	fmt.Fprintf(w, "  %d users x %d jobs over %d fault-injected tools (seed %d)\n",
+		users, jobsPerUser, len(tools), seed)
+	fmt.Fprintf(w, "  outcomes: %d ok, %d failed, %d abandoned (runaway), %d shed\n",
+		ok, failed, abandoned, shed)
+
+	fmt.Fprintln(w, "  injected faults per tool:")
+	for _, name := range names {
+		counts := injectors[name].Counts()
+		var classes []string
+		for _, c := range []fault.Class{fault.Panic, fault.Hang, fault.Transient,
+			fault.Slow, fault.Garbage} {
+			if n := counts[c]; n > 0 {
+				classes = append(classes, fmt.Sprintf("%v=%d", c, n))
+			}
+		}
+		if len(classes) == 0 {
+			classes = append(classes, "none")
+		}
+		fmt.Fprintf(w, "    %-9s %s\n", name, strings.Join(classes, " "))
+	}
+
+	m := ob.Snapshot().Metrics
+	fmt.Fprintln(w, "  resilience counters:")
+	keys := []string{"pool_jobs_total", "pool_retries", "portal_panics_recovered",
+		"pool_jobs_timeout", "portal_jobs_abandoned", "portal_abandoned_returned",
+		"pool_jobs_shed_queue", "pool_jobs_shed_breaker",
+		"pool_breaker_open", "pool_breaker_half-open", "pool_breaker_closed"}
+	for _, k := range keys {
+		fmt.Fprintf(w, "    %-28s %6d\n", k, m.Counters[k])
+	}
+	fmt.Fprintln(w, "  breaker state by tool:")
+	sort.Strings(names)
+	for _, name := range names {
+		if st, ok := p.BreakerState(name); ok {
+			fmt.Fprintf(w, "    %-9s %s\n", name, st)
+		}
+	}
+	return nil
 }

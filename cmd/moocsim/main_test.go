@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMoocsimFunnel(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-fig", "8"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "participation funnel") {
+		t.Fatalf("output = %q, want funnel", out.String())
+	}
+}
+
+func TestMoocsimPortalDrill(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-fig", "portal", "-seed", "3"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"portal resilience drill",
+		"injected faults per tool",
+		"resilience counters:",
+		"pool_jobs_total",
+		"breaker state by tool:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("portal report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMoocsimBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bogus"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("code=%d, want 2", code)
+	}
+}

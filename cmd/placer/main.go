@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vlsicad/internal/bench"
@@ -18,11 +19,23 @@ import (
 )
 
 func main() {
-	caseName := flag.String("case", "fract", "benchmark case (fract, prim1, struct, prim2)")
-	algo := flag.String("algo", "quadratic", "placement algorithm: quadratic, mincut, anneal, random")
-	seed := flag.Int64("seed", 1, "instance and algorithm seed")
-	dump := flag.Bool("dump", false, "print the placement (cell x y per line)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("placer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	caseName := fs.String("case", "fract", "benchmark case (fract, prim1, struct, prim2)")
+	algo := fs.String("algo", "quadratic", "placement algorithm: quadratic, mincut, anneal, random")
+	seed := fs.Int64("seed", 1, "instance and algorithm seed")
+	dump := fs.Bool("dump", false, "print the placement (cell x y per line)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "placer:", err)
+		return 1
+	}
 
 	var c *bench.Case
 	for _, bc := range bench.Suite() {
@@ -33,8 +46,7 @@ func main() {
 		}
 	}
 	if c == nil {
-		fmt.Fprintf(os.Stderr, "placer: unknown case %q\n", *caseName)
-		os.Exit(1)
+		return fail(fmt.Errorf("unknown case %q", *caseName))
 	}
 	p := bench.Placement(*c, *seed)
 
@@ -60,22 +72,21 @@ func main() {
 	case "random":
 		pl = place.Random(p, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "placer: unknown algorithm %q\n", *algo)
-		os.Exit(1)
+		return fail(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "placer:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	legal := "continuous"
 	if e := place.CheckLegal(p, pl); e == nil {
 		legal = "legal"
 	}
-	fmt.Printf("case=%s cells=%d nets=%d algo=%s hpwl=%.1f (%s)\n",
+	fmt.Fprintf(stdout, "case=%s cells=%d nets=%d algo=%s hpwl=%.1f (%s)\n",
 		c.Name, p.NCells, len(p.Nets), *algo, p.HPWL(pl), legal)
 	if *dump {
 		for i := 0; i < p.NCells; i++ {
-			fmt.Printf("%d %g %g\n", i, pl.X[i], pl.Y[i])
+			fmt.Fprintf(stdout, "%d %g %g\n", i, pl.X[i], pl.Y[i])
 		}
 	}
+	return 0
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlacerRandom(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-case", "fract", "-algo", "random", "-dump"},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "case=fract") || !strings.Contains(s, "hpwl=") {
+		t.Fatalf("output = %q, want case summary with hpwl", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) < 2 {
+		t.Fatalf("-dump emitted no placement rows: %q", s)
+	}
+}
+
+func TestPlacerErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-case", "nope"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("unknown case: code=%d, want 1", code)
+	}
+	if code := run([]string{"-algo", "nope"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("unknown algo: code=%d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("bad flag: code=%d, want 2", code)
+	}
+}

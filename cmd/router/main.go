@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"vlsicad/internal/bench"
@@ -21,17 +22,28 @@ import (
 )
 
 func main() {
-	battery := flag.Bool("battery", false, "run the Figure 6 router unit-test battery")
-	global := flag.Bool("global", false, "run coarse global routing and print the congestion map")
-	caseName := flag.String("case", "fract", "benchmark case")
-	seed := flag.Int64("seed", 1, "seed")
-	render := flag.Int("render", -1, "render this layer as ASCII after routing")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("router", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	battery := fs.Bool("battery", false, "run the Figure 6 router unit-test battery")
+	global := fs.Bool("global", false, "run coarse global routing and print the congestion map")
+	caseName := fs.String("case", "fract", "benchmark case")
+	seed := fs.Int64("seed", 1, "seed")
+	render := fs.Int("render", -1, "render this layer as ASCII after routing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "router:", err)
+		return 1
+	}
 
 	if *battery {
-		rep := grader.RunRouterBattery(grader.ReferenceRouter)
-		fmt.Print(rep)
-		return
+		fmt.Fprint(stdout, grader.RunRouterBattery(grader.ReferenceRouter))
+		return 0
 	}
 	var c *bench.Case
 	for _, bc := range bench.Suite() {
@@ -42,19 +54,16 @@ func main() {
 		}
 	}
 	if c == nil {
-		fmt.Fprintf(os.Stderr, "router: unknown case %q\n", *caseName)
-		os.Exit(1)
+		return fail(fmt.Errorf("unknown case %q", *caseName))
 	}
 	p := bench.Placement(*c, *seed)
 	pl, err := place.Quadratic(p, place.QuadraticOpts{})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "router:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	legal, err := place.Legalize(p, pl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "router:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	g, nets := bench.Routing(*c, legal, p, *seed, 0.02)
 	if *global {
@@ -67,17 +76,18 @@ func main() {
 				B: route.Point{X: n.B.X / 5, Y: n.B.Y / 5}}
 		}
 		gres := gg.GlobalRoute(coarse)
-		fmt.Printf("global route: %s\n", gres)
-		fmt.Print(gg.CongestionMap())
-		return
+		fmt.Fprintf(stdout, "global route: %s\n", gres)
+		fmt.Fprint(stdout, gg.CongestionMap())
+		return 0
 	}
 	res := route.RouteAll(g, nets, route.Opts{
 		Alg: route.AStar, Order: route.OrderShortFirst, RipupRounds: 5, Seed: *seed,
 	})
-	fmt.Printf("case=%s grid=%dx%d nets=%d routed=%d failed=%d completion=%.1f%% wirelength=%d vias=%d\n",
+	fmt.Fprintf(stdout, "case=%s grid=%dx%d nets=%d routed=%d failed=%d completion=%.1f%% wirelength=%d vias=%d\n",
 		c.Name, g.W, g.H, len(nets), len(res.Paths), len(res.Failed),
 		100*float64(len(res.Paths))/float64(len(nets)), res.Length, res.Vias)
 	if *render >= 0 && *render < route.Layers {
-		fmt.Print(route.Render(g, *render, res.Paths))
+		fmt.Fprint(stdout, route.Render(g, *render, res.Paths))
 	}
+	return 0
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRouterBattery(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-battery"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("battery output = %q, want PASS lines", out.String())
+	}
+}
+
+func TestRouterCase(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-case", "fract"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "completion=") {
+		t.Fatalf("output = %q, want completion summary", out.String())
+	}
+}
+
+func TestRouterErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-case", "nope"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("unknown case: code=%d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("bad flag: code=%d, want 2", code)
+	}
+}

@@ -14,21 +14,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var src []byte
 	var err error
-	if len(os.Args) > 1 {
-		src, err = os.ReadFile(os.Args[1])
+	if len(args) > 0 {
+		src, err = os.ReadFile(args[0])
 	} else {
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sis:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sis:", err)
+		return 1
 	}
 	out, err := portal.SISTool().Run(string(src), make(chan struct{}))
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sis:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sis:", err)
+		return 1
 	}
+	return 0
 }

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -14,33 +15,44 @@ import (
 )
 
 func main() {
-	wire := flag.Bool("wire", false, "include Elmore wire delays from routing")
-	buckets := flag.Int("hist", 5, "slack histogram buckets (0 disables)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	in := os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wire := fs.Bool("wire", false, "include Elmore wire delays from routing")
+	buckets := fs.Int("hist", 5, "slack histogram buckets (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sta:", err)
+		return 1
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sta:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		in = f
 	}
 	flow, err := vlsicad.RunFlow(in, vlsicad.FlowOpts{WireModel: *wire})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sta:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	fmt.Printf("gates=%d area=%.1f\n", len(flow.Mapping.Matches), flow.Area)
-	fmt.Print(flow.Timing)
+	fmt.Fprintf(stdout, "gates=%d area=%.1f\n", len(flow.Mapping.Matches), flow.Area)
+	fmt.Fprint(stdout, flow.Timing)
 	if *buckets > 0 {
 		counts, edges := flow.Timing.SlackHistogram(*buckets)
-		fmt.Println("slack histogram:")
+		fmt.Fprintln(stdout, "slack histogram:")
 		for i, c := range counts {
-			fmt.Printf("  [%7.2f, %7.2f) %4d %s\n",
+			fmt.Fprintf(stdout, "  [%7.2f, %7.2f) %4d %s\n",
 				edges[i], edges[i+1], c, strings.Repeat("#", c))
 		}
 	}
+	return 0
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const staInput = `.model fixture
+.inputs a b c
+.outputs z
+.names a b t
+11 1
+.names t c z
+1- 1
+-1 1
+.end
+`
+
+func TestSTAReportsTiming(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-hist", "3"}, strings.NewReader(staInput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "gates=") || !strings.Contains(s, "slack histogram:") {
+		t.Fatalf("output = %q, want timing report with histogram", s)
+	}
+}
+
+func TestSTABadInput(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, strings.NewReader("not blif\n"), &out, &errb); code != 1 {
+		t.Fatalf("code=%d, want 1 (stderr=%q)", code, errb.String())
+	}
+}
+
+func TestSTABadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bogus"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("code=%d, want 2", code)
+	}
+}

@@ -1,9 +1,12 @@
 // Toolportal demonstrates the paper's Figure 4 cloud architecture in
 // miniature: a participant submits text jobs to the five deployed EDA
-// tools, a runaway job is terminated, the auto-grader scores a Project
-// 4 submission, and the per-user result history scrolls newest-first.
-// Every job feeds the portal's telemetry, printed as a report at the
-// end — the operational view the paper's cloud deployment ran on.
+// tools through the resilient job pool (sharded workers, bounded
+// queue, retry with backoff, per-tool circuit breakers), a flaky tool
+// shows retries absorbing transient faults, the auto-grader scores a
+// Project 4 submission, and the per-user result history scrolls
+// newest-first. Every job feeds the portal's telemetry, printed as a
+// report at the end — the operational view the paper's cloud
+// deployment ran on.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"vlsicad/internal/fault"
 	"vlsicad/internal/grader"
 	"vlsicad/internal/obs"
 	"vlsicad/internal/portal"
@@ -20,12 +24,19 @@ import (
 
 func main() {
 	ob := obs.NewObserver(nil)
-	p := portal.New(2 * time.Second)
+	p := portal.NewPool(portal.PoolConfig{
+		Workers:    4,
+		QueueDepth: 16,
+		Timeout:    2 * time.Second,
+		Retry:      portal.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, JitterFrac: 0.5},
+		Breaker:    portal.BreakerConfig{FailureThreshold: 5, Cooldown: 100 * time.Millisecond},
+	})
+	defer p.Close()
 	p.SetObserver(ob)
 	if err := portal.CourseTools(p); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("portal serving tools: %v\n\n", p.Tools())
+	fmt.Printf("pool serving tools: %v\n\n", p.Tools())
 
 	user := "participant-17042"
 	jobs := []struct{ tool, input string }{
@@ -44,6 +55,20 @@ func main() {
 			float64(res.Duration.Microseconds())/1000, firstLines(res.Output, 3))
 	}
 
+	// A flaky tool: the first two attempts fail transiently, then it
+	// succeeds — the retry/backoff loop absorbs the fault so the
+	// participant sees one clean result.
+	flaky := fault.Script(echo{}, fault.Transient, fault.Transient, fault.None)
+	if err := p.Register(flaky); err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Submit(user, "echo", "flaky tool demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flaky tool: output %q after %d attempts (2 transient faults retried)\n\n",
+		res.Output, res.Attempts)
+
 	fmt.Println("auto-grading a Project 4 submission (reference router output):")
 	g := route.NewGrid(8, 8, route.DefaultCost())
 	nets := []route.Net{
@@ -54,17 +79,31 @@ func main() {
 	submission := grader.FormatRoutes(routed.Paths)
 	fmt.Println(grader.GradeRouting(g, nets, submission))
 
-	fmt.Printf("history for %s (newest first):\n", user)
-	for _, h := range p.History(user) {
+	fmt.Printf("history for %s (newest first, latest page):\n", user)
+	for _, h := range p.HistoryN(user, 10) {
 		status := "ok"
 		if h.Err != "" {
 			status = "error: " + h.Err
 		}
 		fmt.Printf("  %-9s %s\n", h.Tool, status)
 	}
+	fmt.Println("breaker states:")
+	for _, name := range p.Tools() {
+		if st, ok := p.BreakerState(name); ok {
+			fmt.Printf("  %-9s %s\n", name, st)
+		}
+	}
 
 	fmt.Println("\n=== portal telemetry ===")
 	ob.Snapshot().WriteText(os.Stdout)
+}
+
+type echo struct{}
+
+func (echo) Name() string     { return "echo" }
+func (echo) Describe() string { return "returns its input" }
+func (echo) Run(input string, cancel <-chan struct{}) (string, error) {
+	return input, nil
 }
 
 func firstLines(s string, n int) string {

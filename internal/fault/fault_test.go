@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vlsicad/internal/portal"
+)
+
+type echo struct{}
+
+func (echo) Name() string     { return "echo" }
+func (echo) Describe() string { return "returns its input" }
+func (echo) Run(input string, cancel <-chan struct{}) (string, error) {
+	return input, nil
+}
+
+// stdCfg gives every class a healthy share so short seeded runs see
+// all of them.
+func stdCfg() Config {
+	return Config{Panic: 0.12, Hang: 0.12, Transient: 0.12, Slow: 0.12,
+		Garbage: 0.12, SlowDelay: time.Millisecond}
+}
+
+// TestPlanPinnedSeed pins the fault plan of seed 2: the class of each
+// call is a pure function of (seed, index), so this golden sequence
+// must never drift — it is what makes chaos failures reproducible.
+func TestPlanPinnedSeed(t *testing.T) {
+	in := Wrap(echo{}, 2, stdCfg())
+	want := []Class{Garbage, None, None, None, Transient, None,
+		None, None, Transient, Panic, Hang, Slow}
+	for n, w := range want {
+		if got := in.ClassAt(uint64(n)); got != w {
+			t.Fatalf("seed 2 ClassAt(%d) = %v, want %v", n, got, w)
+		}
+	}
+	// All five fault classes appear within the first 50 calls.
+	seen := map[Class]bool{}
+	for n := uint64(0); n < 50; n++ {
+		seen[in.ClassAt(n)] = true
+	}
+	for _, c := range []Class{Panic, Hang, Transient, Slow, Garbage} {
+		if !seen[c] {
+			t.Errorf("seed 2 plan missing class %v in 50 calls", c)
+		}
+	}
+}
+
+func TestPlanDeterministicAcrossInjectors(t *testing.T) {
+	a := Wrap(echo{}, 77, stdCfg())
+	b := Wrap(echo{}, 77, stdCfg())
+	c := Wrap(echo{}, 78, stdCfg())
+	same, diff := true, false
+	for n := uint64(0); n < 500; n++ {
+		if a.ClassAt(n) != b.ClassAt(n) {
+			same = false
+		}
+		if a.ClassAt(n) != c.ClassAt(n) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different plans")
+	}
+	if !diff {
+		t.Error("different seeds produced identical 500-call plans")
+	}
+}
+
+func TestScriptCycles(t *testing.T) {
+	in := Script(echo{}, Transient, None)
+	want := []Class{Transient, None, Transient, None, Transient}
+	for n, w := range want {
+		if got := in.ClassAt(uint64(n)); got != w {
+			t.Fatalf("script ClassAt(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestInjectedBehaviors(t *testing.T) {
+	cancel := make(chan struct{})
+
+	t.Run("panic", func(t *testing.T) {
+		in := Script(echo{}, Panic)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Panic class did not panic")
+			}
+			if !strings.Contains(r.(string), "injected panic") {
+				t.Fatalf("panic value = %v", r)
+			}
+		}()
+		in.Run("x", cancel)
+	})
+
+	t.Run("transient", func(t *testing.T) {
+		in := Script(echo{}, Transient)
+		_, err := in.Run("x", cancel)
+		if err == nil || !portal.IsTransient(err) {
+			t.Fatalf("err = %v, want transient", err)
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		in := Script(echo{}, Garbage)
+		out, err := in.Run("hello 123", cancel)
+		if err != nil {
+			t.Fatalf("garbage errored: %v", err)
+		}
+		if !strings.Contains(out, "@@GARBLED") {
+			t.Fatalf("output = %q, want garble marker", out)
+		}
+		if out == "hello 123" {
+			t.Fatal("garbage left output intact")
+		}
+		// Corruption is deterministic per (seed, call).
+		in2 := Script(echo{}, Garbage)
+		out2, _ := in2.Run("hello 123", cancel)
+		if out != out2 {
+			t.Fatalf("garble not deterministic: %q vs %q", out, out2)
+		}
+	})
+
+	t.Run("slow", func(t *testing.T) {
+		in := Script(echo{}, Slow)
+		fired := make(chan time.Time, 1)
+		fired <- time.Time{}
+		in.SetSleep(func(time.Duration) <-chan time.Time { return fired })
+		out, err := in.Run("x", cancel)
+		if err != nil || out != "x" {
+			t.Fatalf("slow run = %q, %v", out, err)
+		}
+		// A cancelled slow call gives up cooperatively.
+		in2 := Script(echo{}, Slow)
+		in2.SetSleep(func(time.Duration) <-chan time.Time {
+			return make(chan time.Time) // never fires
+		})
+		closed := make(chan struct{})
+		close(closed)
+		if _, err := in2.Run("x", closed); err == nil ||
+			!strings.Contains(err.Error(), "cancelled") {
+			t.Fatalf("cancelled slow call err = %v", err)
+		}
+	})
+
+	t.Run("hang", func(t *testing.T) {
+		in := Script(echo{}, Hang)
+		done := make(chan error, 1)
+		closedCancel := make(chan struct{})
+		close(closedCancel)
+		go func() {
+			// Cancel is already closed: a Hang must ignore it anyway.
+			_, err := in.Run("x", closedCancel)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			t.Fatalf("hang returned early: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+		in.ReleaseHung()
+		in.ReleaseHung() // idempotent
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "released") {
+				t.Fatalf("released hang err = %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ReleaseHung did not unblock the call")
+		}
+	})
+
+	t.Run("none", func(t *testing.T) {
+		in := Script(echo{}, None)
+		out, err := in.Run("clean", cancel)
+		if err != nil || out != "clean" {
+			t.Fatalf("passthrough = %q, %v", out, err)
+		}
+	})
+}
+
+func TestClearAndCounts(t *testing.T) {
+	cancel := make(chan struct{})
+	in := Script(echo{}, Transient)
+	if _, err := in.Run("x", cancel); !portal.IsTransient(err) {
+		t.Fatalf("pre-clear err = %v", err)
+	}
+	in.Clear()
+	// The storm is over: scripted faults become passthroughs.
+	for i := 0; i < 4; i++ {
+		if out, err := in.Run("x", cancel); err != nil || out != "x" {
+			t.Fatalf("cleared call %d = %q, %v", i, out, err)
+		}
+	}
+	in.Resume()
+	if _, err := in.Run("x", cancel); !portal.IsTransient(err) {
+		t.Fatalf("post-resume err = %v (call cycles back to Transient)", err)
+	}
+	counts := in.Counts()
+	if counts[Transient] != 2 || counts[None] != 4 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if in.Calls() != 6 {
+		t.Fatalf("calls = %d, want 6", in.Calls())
+	}
+}
+
+func TestInjectorIsATool(t *testing.T) {
+	in := Wrap(echo{}, 1, Config{})
+	var _ portal.Tool = in
+	if in.Name() != "echo" {
+		t.Fatalf("Name = %q", in.Name())
+	}
+	if !strings.Contains(in.Describe(), "[fault-injected]") {
+		t.Fatalf("Describe = %q", in.Describe())
+	}
+}

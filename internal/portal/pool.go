@@ -1,0 +1,411 @@
+package portal
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"vlsicad/internal/obs"
+)
+
+// ErrQueueFull is returned by Pool.Submit when the bounded job queue
+// is at capacity: the portal sheds the job immediately instead of
+// blocking the caller — explicit backpressure, the cloud answer to
+// "planet Earth is typing faster than the tools can run".
+var ErrQueueFull = errors.New("portal: job queue full")
+
+// ErrPoolClosed is returned by Pool.Submit after Close.
+var ErrPoolClosed = errors.New("portal: pool closed")
+
+// PoolConfig sizes the resilient job engine. The zero value is
+// normalized to sensible defaults by NewPool.
+type PoolConfig struct {
+	// Workers is the number of worker goroutines executing jobs
+	// (default GOMAXPROCS). Unlike the legacy Portal, submissions do
+	// not spawn an unbounded goroutine each: concurrency is capped
+	// here and excess load is queued or shed.
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 4×Workers).
+	// When full, Submit returns ErrQueueFull immediately.
+	QueueDepth int
+	// Shards is the number of history shards, user-hash mapped
+	// (default 16), so per-user bookkeeping doesn't serialize the
+	// whole portal behind one lock.
+	Shards int
+	// Timeout is the per-attempt runaway limit (default 2s), enforced
+	// by the same cancel + grace-period machinery as Portal.
+	Timeout time.Duration
+	// Retry governs re-running attempts that fail transiently.
+	Retry RetryPolicy
+	// Breaker configures the per-tool circuit breakers.
+	Breaker BreakerConfig
+	// Seed drives the retry-jitter RNG (default 1); a fixed seed
+	// makes backoff schedules reproducible in fault sweeps.
+	Seed uint64
+	// HistoryLimit caps each user's retained history (0 = unlimited):
+	// the memory guard for planet-scale cohorts. Oldest entries are
+	// dropped first, amortized O(1) per append.
+	HistoryLimit int
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// poolShard is one slice of the user-keyed state. Sharding by user
+// hash keeps history appends for unrelated users on different locks.
+type poolShard struct {
+	mu      sync.Mutex
+	history map[string][]JobResult
+}
+
+// poolJob is one queued submission; done is buffered so the worker's
+// single send can never block or double-complete.
+type poolJob struct {
+	user, tool, input string
+	t                 Tool
+	br                *Breaker
+	done              chan JobResult
+}
+
+// Pool is the resilient successor to Portal: N workers over a bounded
+// queue and sharded per-user history, with panic isolation, retry
+// with exponential backoff for transient failures, and per-tool
+// circuit breakers. All telemetry flows through internal/obs.
+type Pool struct {
+	cfg PoolConfig
+
+	mu       sync.RWMutex // guards tools, breakers, clock/after/obs; read-heavy
+	tools    map[string]Tool
+	breakers map[string]*Breaker
+	clock    func() time.Time
+	after    func(time.Duration) <-chan time.Time
+	obs      *obs.Observer
+
+	rngMu    sync.Mutex // jitter stream has its own lock off the hot path
+	rngState uint64
+
+	shards []poolShard
+
+	lifeMu sync.RWMutex // serializes Submit sends against Close
+	closed bool
+	jobs   chan *poolJob
+	wg     sync.WaitGroup
+}
+
+// NewPool builds the engine and starts its workers. Callers should
+// Close it when done to stop the workers.
+func NewPool(cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:      cfg,
+		tools:    map[string]Tool{},
+		breakers: map[string]*Breaker{},
+		clock:    time.Now,
+		after:    time.After,
+		obs:      obs.Default(),
+		rngState: cfg.Seed,
+		shards:   make([]poolShard, cfg.Shards),
+		jobs:     make(chan *poolJob, cfg.QueueDepth),
+	}
+	for i := range p.shards {
+		p.shards[i].history = map[string][]JobResult{}
+	}
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Close stops accepting submissions, drains queued jobs, and waits
+// for the workers to exit. Safe to call once.
+func (p *Pool) Close() {
+	p.lifeMu.Lock()
+	if p.closed {
+		p.lifeMu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.lifeMu.Unlock()
+	p.wg.Wait()
+}
+
+// SetObserver redirects the pool's telemetry (nil detaches it).
+func (p *Pool) SetObserver(o *obs.Observer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = o
+	for _, br := range p.breakers {
+		p.wireBreaker(br, "")
+	}
+}
+
+// SetClock injects the duration clock and the timer source used for
+// timeout enforcement and retry backoff, mirroring Portal.SetClock.
+// Either may be nil to keep the current one. Registered breakers
+// follow the new clock.
+func (p *Pool) SetClock(now func() time.Time, after func(time.Duration) <-chan time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now != nil {
+		p.clock = now
+		for _, br := range p.breakers {
+			br.setClock(now)
+		}
+	}
+	if after != nil {
+		p.after = after
+	}
+}
+
+// Register installs a tool and its circuit breaker; registering a
+// duplicate name is an error.
+func (p *Pool) Register(t Tool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name := t.Name()
+	if _, dup := p.tools[name]; dup {
+		return fmt.Errorf("portal: tool %q already registered", name)
+	}
+	p.tools[name] = t
+	br := NewBreaker(p.cfg.Breaker, p.clock)
+	p.wireBreaker(br, name)
+	p.breakers[name] = br
+	return nil
+}
+
+// wireBreaker points a breaker's transition hook at the current
+// observer. Callers must hold p.mu; name may be "" to keep the
+// breaker's existing tool label (used when swapping observers).
+func (p *Pool) wireBreaker(br *Breaker, name string) {
+	ob := p.obs
+	if name == "" {
+		for n, b := range p.breakers {
+			if b == br {
+				name = n
+				break
+			}
+		}
+	}
+	tool := name
+	br.setOnTransition(func(from, to BreakerState) {
+		ob.Counter("pool_breaker_" + to.String()).Inc()
+		ob.Counter("pool_breaker_" + to.String() + ":" + tool).Inc()
+		ob.Emit("pool.breaker", map[string]string{
+			"tool": tool, "from": from.String(), "to": to.String(),
+		})
+	})
+}
+
+// Tools lists the registered tool names, sorted.
+func (p *Pool) Tools() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []string
+	for name := range p.tools {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BreakerState reports the effective breaker state for a tool (and
+// whether the tool exists) — the health column of a status page.
+func (p *Pool) BreakerState(tool string) (BreakerState, bool) {
+	p.mu.RLock()
+	br, ok := p.breakers[tool]
+	p.mu.RUnlock()
+	if !ok {
+		return BreakerClosed, false
+	}
+	return br.State(), true
+}
+
+// shard maps a user to their history shard by FNV-1a hash.
+func (p *Pool) shard(user string) *poolShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(user); i++ {
+		h ^= uint64(user[i])
+		h *= 1099511628211
+	}
+	return &p.shards[h%uint64(len(p.shards))]
+}
+
+// jitter draws a uniform sample in [0, 1) from the pool's seeded
+// SplitMix64 stream for retry-backoff jitter.
+func (p *Pool) jitter() float64 {
+	p.rngMu.Lock()
+	p.rngState += 0x9e3779b97f4a7c15
+	z := p.rngState
+	p.rngMu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Submit runs a job through the pool and blocks until its result is
+// ready. Load-shedding paths return immediately instead of blocking:
+// ErrCircuitOpen when the tool's breaker is open, ErrQueueFull when
+// the bounded queue is at capacity. A nil error means exactly one
+// JobResult was produced and appended to the user's history.
+func (p *Pool) Submit(user, tool, input string) (JobResult, error) {
+	p.mu.RLock()
+	t, ok := p.tools[tool]
+	br := p.breakers[tool]
+	ob := p.obs
+	p.mu.RUnlock()
+	if !ok {
+		ob.Counter("pool_jobs_unknown_tool").Inc()
+		return JobResult{}, fmt.Errorf("portal: no tool %q", tool)
+	}
+	if err := br.Allow(); err != nil {
+		ob.Counter("pool_jobs_shed_breaker").Inc()
+		ob.Counter("pool_jobs_shed_breaker:" + tool).Inc()
+		ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "breaker"})
+		return JobResult{}, fmt.Errorf("portal: tool %q: %w", tool, err)
+	}
+	j := &poolJob{user: user, tool: tool, input: input, t: t, br: br,
+		done: make(chan JobResult, 1)}
+
+	p.lifeMu.RLock()
+	if p.closed {
+		p.lifeMu.RUnlock()
+		br.Release()
+		return JobResult{}, ErrPoolClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.lifeMu.RUnlock()
+		ob.Gauge("pool_queue_depth").Add(1)
+	default:
+		p.lifeMu.RUnlock()
+		// Backpressure: shed instead of blocking the submitter, and
+		// give back any half-open probe slot the breaker reserved.
+		br.Release()
+		ob.Counter("pool_jobs_shed_queue").Inc()
+		ob.Counter("pool_jobs_shed_queue:" + tool).Inc()
+		ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "queue"})
+		return JobResult{}, ErrQueueFull
+	}
+	return <-j.done, nil
+}
+
+// worker is the job-execution loop: dequeue, run (with retries and
+// panic isolation), record the breaker outcome, append history,
+// complete the job exactly once.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.mu.RLock()
+		ob := p.obs
+		p.mu.RUnlock()
+		ob.Gauge("pool_queue_depth").Add(-1)
+		res := p.runJob(j, ob)
+		sh := p.shard(j.user)
+		sh.mu.Lock()
+		h := append(sh.history[j.user], res)
+		// Trim in blocks so the cap costs O(1) amortized: only once
+		// the slice doubles past the limit do we copy the tail down.
+		if lim := p.cfg.HistoryLimit; lim > 0 && len(h) >= 2*lim {
+			h = append(h[:0:0], h[len(h)-lim:]...)
+		}
+		sh.history[j.user] = h
+		sh.mu.Unlock()
+		j.done <- res
+	}
+}
+
+// runJob executes one job: up to Retry.MaxAttempts attempts with
+// exponential backoff + jitter between transient failures, then
+// breaker recording and telemetry.
+func (p *Pool) runJob(j *poolJob, ob *obs.Observer) JobResult {
+	p.mu.RLock()
+	clock, after := p.clock, p.after
+	p.mu.RUnlock()
+	sp := ob.StartSpan("pool.job")
+	sp.SetLabel("tool", j.tool)
+	sp.SetLabel("user", j.user)
+	ob.Gauge("pool_jobs_inflight").Add(1)
+	start := clock()
+
+	maxAttempts := p.cfg.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var res JobResult
+	var rawErr error
+	attempt := 0
+	for {
+		attempt++
+		res, rawErr = execTool(j.t, j.tool, j.user, j.input, p.cfg.Timeout, after, ob)
+		if rawErr == nil || attempt >= maxAttempts || res.TimedOut || !IsTransient(rawErr) {
+			break
+		}
+		ob.Counter("pool_retries").Inc()
+		ob.Counter("pool_retries:" + j.tool).Inc()
+		<-after(p.cfg.Retry.Delay(attempt, p.jitter()))
+	}
+	res.Attempts = attempt
+	res.Input = j.input
+	res.When = start
+	res.Duration = clock().Sub(start)
+
+	success := rawErr == nil && !res.TimedOut
+	j.br.Record(success)
+
+	ob.Gauge("pool_jobs_inflight").Add(-1)
+	ob.Counter("pool_jobs_total").Inc()
+	ob.Counter("pool_jobs:" + j.tool).Inc()
+	if res.TimedOut {
+		ob.Counter("pool_jobs_timeout").Inc()
+	}
+	if res.Err != "" {
+		ob.Counter("pool_jobs_error").Inc()
+	}
+	ob.Histogram("pool_job_seconds").ObserveDuration(res.Duration)
+	ob.Histogram("pool_job_seconds:" + j.tool).ObserveDuration(res.Duration)
+	sp.SetLabel("timed_out", strconv.FormatBool(res.TimedOut))
+	sp.SetLabel("attempts", strconv.Itoa(attempt))
+	sp.End()
+	return res
+}
+
+// History returns the user's retained past results, newest first,
+// from the user's shard.
+func (p *Pool) History(user string) []JobResult {
+	sh := p.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return reverseHistory(sh.history[user], len(sh.history[user]))
+}
+
+// HistoryN returns the user's n most recent results, newest first —
+// one page of the history view, without copying the whole record.
+func (p *Pool) HistoryN(user string, n int) []JobResult {
+	sh := p.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return reverseHistory(sh.history[user], n)
+}

@@ -6,6 +6,7 @@
 package portal
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -14,6 +15,13 @@ import (
 
 	"vlsicad/internal/obs"
 )
+
+// ErrToolPanic marks a job whose Tool.Run panicked. The runner
+// goroutine recovers the panic and converts it into a failed
+// JobResult wrapping this sentinel, so one crashing submission never
+// kills the portal process — the survival property the paper's cloud
+// deployment needed against arbitrary student input.
+var ErrToolPanic = errors.New("tool panicked")
 
 // Tool is a text-in/text-out EDA tool. Implementations should poll
 // cancel (closed on timeout) in long loops; the portal also abandons
@@ -26,7 +34,11 @@ type Tool interface {
 
 // JobResult is one portal execution record.
 type JobResult struct {
-	Tool     string
+	Tool string
+	// Input is the submitted text, kept with the record so history
+	// pages can re-show what was run and harnesses can audit that no
+	// submission is lost or double-completed.
+	Input    string
 	Output   string
 	Err      string
 	Duration time.Duration
@@ -37,7 +49,12 @@ type JobResult struct {
 	// the portal_jobs_abandoned metric and tracked live by the
 	// portal_abandoned_inflight gauge.
 	Abandoned bool
-	When      time.Time
+	// Attempts is how many attempts the job took (1 when it succeeded
+	// or failed terminally first try; >1 when the pool retried
+	// transient failures). The legacy Portal always runs one attempt
+	// and leaves it 0 for backward compatibility of recorded history.
+	Attempts int
+	When     time.Time
 }
 
 // GracePeriod is how long Submit waits after cancellation for a tool
@@ -132,51 +149,9 @@ func (p *Portal) Submit(user, tool, input string) (JobResult, error) {
 	sp.SetLabel("user", user)
 	ob.Gauge("portal_jobs_inflight").Add(1)
 	start := clock()
-	cancel := make(chan struct{})
-	type outcome struct {
-		out string
-		err error
-	}
-	done := make(chan outcome, 1)
-	go func() {
-		out, err := t.Run(input, cancel)
-		done <- outcome{out, err}
-	}()
-	res := JobResult{Tool: tool, When: start}
-	select {
-	case o := <-done:
-		res.Output = o.out
-		if o.err != nil {
-			res.Err = o.err.Error()
-		}
-	case <-after(p.timeout):
-		close(cancel)
-		// Give the tool a short grace period to acknowledge.
-		select {
-		case o := <-done:
-			res.Output = o.out
-			if o.err != nil {
-				res.Err = o.err.Error()
-			}
-		case <-after(GracePeriod):
-			// The tool ignored cancellation: its goroutine keeps
-			// running detached. Make the runaway visible instead of
-			// silently dropping it.
-			res.Abandoned = true
-			ob.Counter("portal_jobs_abandoned").Inc()
-			ob.Gauge("portal_abandoned_inflight").Add(1)
-			ob.Emit("portal.abandoned", map[string]string{"tool": tool, "user": user})
-			go func() {
-				<-done
-				ob.Gauge("portal_abandoned_inflight").Add(-1)
-				ob.Counter("portal_abandoned_returned").Inc()
-			}()
-		}
-		res.TimedOut = true
-		if res.Err == "" {
-			res.Err = "terminated: exceeded portal time limit"
-		}
-	}
+	res, _ := execTool(t, tool, user, input, p.timeout, after, ob)
+	res.Input = input
+	res.When = start
 	res.Duration = clock().Sub(start)
 	p.mu.Lock()
 	p.history[user] = append(p.history[user], res)
@@ -198,14 +173,110 @@ func (p *Portal) Submit(user, tool, input string) (JobResult, error) {
 	return res, nil
 }
 
+// runOutcome is one tool attempt's raw return.
+type runOutcome struct {
+	out string
+	err error
+}
+
+// execTool runs a single attempt of t.Run with the portal's three
+// layers of isolation, shared by Portal.Submit and the Pool workers:
+//
+//  1. panic recovery — a crashing Run becomes a failed result
+//     wrapping ErrToolPanic (portal_panics_recovered counter);
+//  2. timeout + cooperative cancellation — after timeout the cancel
+//     channel closes and the tool gets GracePeriod to acknowledge;
+//  3. abandonment — a tool that ignores cancellation is left running
+//     detached, counted (portal_jobs_abandoned), tracked live
+//     (portal_abandoned_inflight gauge), and drained by a watcher
+//     when it finally returns (portal_abandoned_returned), so an
+//     eventually-finishing runaway never leaks its goroutine or its
+//     buffered outcome.
+//
+// The returned error is the tool's raw error (nil on success), kept
+// alongside the stringified JobResult.Err so callers can classify it
+// (IsTransient, ErrToolPanic) without string matching.
+func execTool(t Tool, tool, user, input string, timeout time.Duration,
+	after func(time.Duration) <-chan time.Time, ob *obs.Observer) (JobResult, error) {
+	cancel := make(chan struct{})
+	done := make(chan runOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ob.Counter("portal_panics_recovered").Inc()
+				ob.Counter("portal_panics_recovered:" + tool).Inc()
+				done <- runOutcome{err: fmt.Errorf("%w: %v", ErrToolPanic, r)}
+			}
+		}()
+		out, err := t.Run(input, cancel)
+		done <- runOutcome{out, err}
+	}()
+	res := JobResult{Tool: tool}
+	var rawErr error
+	select {
+	case o := <-done:
+		res.Output = o.out
+		rawErr = o.err
+	case <-after(timeout):
+		close(cancel)
+		// Give the tool a short grace period to acknowledge.
+		select {
+		case o := <-done:
+			res.Output = o.out
+			rawErr = o.err
+		case <-after(GracePeriod):
+			// The tool ignored cancellation: its goroutine keeps
+			// running detached. Make the runaway visible instead of
+			// silently dropping it, and drain its outcome when it
+			// finally returns so nothing leaks.
+			res.Abandoned = true
+			ob.Counter("portal_jobs_abandoned").Inc()
+			ob.Gauge("portal_abandoned_inflight").Add(1)
+			ob.Emit("portal.abandoned", map[string]string{"tool": tool, "user": user})
+			go func() {
+				<-done
+				ob.Gauge("portal_abandoned_inflight").Add(-1)
+				ob.Counter("portal_abandoned_returned").Inc()
+			}()
+		}
+		res.TimedOut = true
+		if rawErr == nil {
+			rawErr = errors.New("terminated: exceeded portal time limit")
+		}
+	}
+	if rawErr != nil {
+		res.Err = rawErr.Error()
+	}
+	return res, rawErr
+}
+
 // History returns the user's past results, newest first — the
 // "scroll for older outputs" page of the paper's portal.
 func (p *Portal) History(user string) []JobResult {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	h := p.history[user]
-	out := make([]JobResult, len(h))
-	for i := range h {
+	return reverseHistory(p.history[user], len(p.history[user]))
+}
+
+// HistoryN returns the user's n most recent results, newest first —
+// one page of the history view, without copying the whole record.
+func (p *Portal) HistoryN(user string, n int) []JobResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return reverseHistory(p.history[user], n)
+}
+
+// reverseHistory copies the newest min(n, len(h)) entries of h in
+// newest-first order.
+func reverseHistory(h []JobResult, n int) []JobResult {
+	if n > len(h) {
+		n = len(h)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]JobResult, n)
+	for i := 0; i < n; i++ {
 		out[i] = h[len(h)-1-i]
 	}
 	return out

@@ -217,8 +217,15 @@ func AxbTool() Tool {
 	}
 }
 
-// CourseTools registers the paper's five tool portals on a portal.
-func CourseTools(p *Portal) error {
+// Registrar is anything that hosts tools: the legacy Portal or the
+// resilient Pool.
+type Registrar interface {
+	Register(Tool) error
+}
+
+// CourseTools registers the paper's five tool portals on a portal or
+// pool.
+func CourseTools(p Registrar) error {
 	for _, t := range []Tool{KBDDTool(), EspressoTool(), MiniSATTool(), SISTool(), AxbTool()} {
 		if err := p.Register(t); err != nil {
 			return err
