@@ -31,7 +31,8 @@ xcheck:
 fuzz:
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzCoverMinimize -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzSATvsBDD -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzRoute -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzRoute$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzPRoute -fuzztime=$(FUZZTIME)
 
 # Regenerate testdata/xcheck from the pinned master seed.
 corpus:

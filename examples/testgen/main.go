@@ -7,7 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strings"
 
 	"vlsicad/internal/atpg"
@@ -33,48 +34,61 @@ const carry = `
 `
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "testgen:", err)
+		return 1
+	}
 	nw, err := netlist.ParseBLIF(strings.NewReader(carry))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	res, err := atpg.Run(nw)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("ATPG on %s: %d faults, %d detected, %d redundant -> %.0f%% coverage\n",
+	fmt.Fprintf(stdout, "ATPG on %s: %d faults, %d detected, %d redundant -> %.0f%% coverage\n",
 		nw.Name, res.Total, res.Detected, res.Redundant, 100*res.Coverage())
-	fmt.Printf("compact test set (%d vectors after fault dropping):\n", len(res.Tests))
+	fmt.Fprintf(stdout, "compact test set (%d vectors after fault dropping):\n", len(res.Tests))
 	for _, t := range res.Tests {
-		fmt.Printf("  target %-8s vector a=%v b=%v cin=%v\n",
+		fmt.Fprintf(stdout, "  target %-8s vector a=%v b=%v cin=%v\n",
 			t.Fault, t.Vector["a"], t.Vector["b"], t.Vector["cin"])
 	}
 
-	fmt.Println("\nFSM minimization (sequential extension):")
+	fmt.Fprintln(stdout, "\nFSM minimization (sequential extension):")
 	m := seq.New("det11", 1, 1)
-	check(m.AddState("s0", []string{"s0", "s1"}, []uint{0, 0}))
-	check(m.AddState("s1", []string{"s0", "s2"}, []uint{0, 1}))
-	check(m.AddState("s2", []string{"s0", "s2"}, []uint{0, 1})) // redundant clone of s1
+	for _, st := range []struct {
+		name string
+		next []string
+		out  []uint
+	}{
+		{"s0", []string{"s0", "s1"}, []uint{0, 0}},
+		{"s1", []string{"s0", "s2"}, []uint{0, 1}},
+		{"s2", []string{"s0", "s2"}, []uint{0, 1}}, // redundant clone of s1
+	} {
+		if err := m.AddState(st.name, st.next, st.out); err != nil {
+			return fail(err)
+		}
+	}
 	min, mapping, err := seq.Minimize(m)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("  %d states -> %d (s2 merged into %s)\n",
+	fmt.Fprintf(stdout, "  %d states -> %d (s2 merged into %s)\n",
 		len(m.States), len(min.States), mapping["s2"])
 	eq, _, err := seq.Equivalent(m, min)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("  product-machine equivalence after minimization: %v\n", eq)
+	fmt.Fprintf(stdout, "  product-machine equivalence after minimization: %v\n", eq)
 	logic, codes, err := seq.Synthesize(min, seq.Binary)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("  synthesized next-state/output logic: %d literals, state codes %v\n",
+	fmt.Fprintf(stdout, "  synthesized next-state/output logic: %d literals, state codes %v\n",
 		logic.Literals(), codes)
-}
-
-func check(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
+	return 0
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,6 +39,11 @@ type FlowOpts struct {
 	RouteScale int
 	// Seed drives the randomized stages (routing rip-up order).
 	Seed int64
+	// RouteWorkers sets the routing stage's worker count: 0 means
+	// GOMAXPROCS, 1 forces the serial engine. The routed Result is
+	// byte-identical for every value — parallelism changes only wall
+	// clock, never the answer.
+	RouteWorkers int
 	// WireModel enables Elmore wire delays in timing (per routed net).
 	WireModel bool
 	// CheckDRC runs design-rule checking on the routed wires.
@@ -275,16 +281,36 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 	f.HPWL = prob.HPWL(legal)
 	endStage(sp, "place", nil)
 
-	// 4. Routing (Week 7).
+	// 4. Routing (Week 7): wave-parallel net routing on a bounded
+	// worker pool. Per-wave telemetry lands in child spans and
+	// counters; the Result itself is worker-count independent.
 	sp = root.StartChild("flow.route")
 	grid, nets := routingFromPlacement(prob, legal, opts.RouteScale, opts.Seed)
 	f.Grid = grid
 	f.Nets = nets
+	workers := opts.RouteWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	f.Routing = route.RouteAll(grid, nets, route.Opts{
 		Alg:         route.AStar,
 		Order:       route.OrderShortFirst,
 		RipupRounds: 5,
 		Seed:        opts.Seed,
+		Workers:     workers,
+		OnWave: func(ws route.WaveStats) {
+			wsp := sp.StartChild("flow.route.wave")
+			wsp.SetLabel("wave", strconv.Itoa(ws.Index))
+			wsp.SetLabel("nets", strconv.Itoa(ws.Nets))
+			wsp.SetLabel("committed", strconv.Itoa(ws.Committed))
+			wsp.SetLabel("conflicts", strconv.Itoa(ws.Conflicts))
+			wsp.SetLabel("requeued", strconv.Itoa(ws.Requeued))
+			wsp.End()
+			ob.Counter("flow_route_nets_routed").Add(int64(ws.Committed))
+			ob.Counter("flow_route_wave_conflicts").Add(int64(ws.Conflicts))
+			ob.Counter("flow_route_requeues").Add(int64(ws.Requeued))
+			ob.Histogram("flow_route_wave_seconds").ObserveDuration(ws.Duration)
+		},
 	})
 	f.WireLength = f.Routing.Length
 	f.Vias = f.Routing.Vias

@@ -16,6 +16,14 @@ import (
 type Sparse struct {
 	N    int
 	rows []map[int]float64
+	// cols caches each row's column indices in ascending order; nil
+	// after any Add. The solvers iterate rows through it so their
+	// floating-point summation order — and hence every result bit —
+	// is fixed, not subject to map iteration order. (CG feeding the
+	// quadratic placer was visibly nondeterministic across runs
+	// before: tiny sum reorderings flipped legalization ties and
+	// changed downstream routing instances.)
+	cols [][]int
 }
 
 // NewSparse returns an n×n zero matrix.
@@ -30,6 +38,24 @@ func NewSparse(n int) *Sparse {
 // Add accumulates v into entry (i, j).
 func (a *Sparse) Add(i, j int, v float64) {
 	a.rows[i][j] += v
+	a.cols = nil
+}
+
+// sortedCols returns the per-row ascending column indices, rebuilding
+// the cache if the matrix changed since the last solve.
+func (a *Sparse) sortedCols() [][]int {
+	if a.cols == nil {
+		a.cols = make([][]int, a.N)
+		for i, row := range a.rows {
+			c := make([]int, 0, len(row))
+			for j := range row {
+				c = append(c, j)
+			}
+			sort.Ints(c)
+			a.cols[i] = c
+		}
+	}
+	return a.cols
 }
 
 // At returns entry (i, j).
@@ -44,13 +70,14 @@ func (a *Sparse) NNZ() int {
 	return n
 }
 
-// MatVec computes y = A·x.
+// MatVec computes y = A·x (deterministic summation order).
 func (a *Sparse) MatVec(x []float64) []float64 {
 	y := make([]float64, a.N)
+	cols := a.sortedCols()
 	for i, row := range a.rows {
 		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
+		for _, j := range cols[i] {
+			s += row[j] * x[j]
 		}
 		y[i] = s
 	}
@@ -123,12 +150,14 @@ func Jacobi(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result
 	if bn == 0 {
 		return x, Result{Converged: true}
 	}
+	cols := a.sortedCols()
 	var res Result
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
 		for i, row := range a.rows {
 			s := b[i]
 			d := 0.0
-			for j, v := range row {
+			for _, j := range cols[i] {
+				v := row[j]
 				if j == i {
 					d = v
 					continue
@@ -159,12 +188,14 @@ func GaussSeidel(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, R
 	if bn == 0 {
 		return x, Result{Converged: true}
 	}
+	cols := a.sortedCols()
 	var res Result
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
 		for i, row := range a.rows {
 			s := b[i]
 			d := 0.0
-			for j, v := range row {
+			for _, j := range cols[i] {
+				v := row[j]
 				if j == i {
 					d = v
 					continue

@@ -194,3 +194,61 @@ func TestSparseEntriesAndNNZ(t *testing.T) {
 		t.Errorf("Entries = %v", ents)
 	}
 }
+
+// TestSolversBitDeterministic locks the summation-order fix: repeated
+// solves of the same system must agree bit-for-bit. Before sortedCols,
+// MatVec summed in map iteration order, so CG trajectories (and the
+// quadratic placements built on them) differed between runs.
+func TestSolversBitDeterministic(t *testing.T) {
+	build := func() (*Sparse, []float64) {
+		n := 40
+		a := NewSparse(n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 8+float64(i%5))
+			for d := 1; d <= 6; d++ {
+				j := (i + d*7) % n
+				if j != i {
+					a.Add(i, j, -0.3)
+					a.Add(j, i, -0.3)
+				}
+			}
+			b[i] = float64((i*13)%11) - 5
+		}
+		return a, b
+	}
+	a1, b1 := build()
+	a2, b2 := build()
+	x1, _ := CG(a1, b1, 1e-10, 500)
+	x2, _ := CG(a2, b2, 1e-10, 500)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("CG not bit-deterministic at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+	for name, solve := range map[string]func(*Sparse, []float64, float64, int) ([]float64, Result){
+		"jacobi": Jacobi, "gauss-seidel": GaussSeidel,
+	} {
+		a1, b1 := build()
+		a2, b2 := build()
+		y1, _ := solve(a1, b1, 1e-10, 500)
+		y2, _ := solve(a2, b2, 1e-10, 500)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("%s not bit-deterministic at %d", name, i)
+			}
+		}
+	}
+	// MatVec after further Adds must see the refreshed column cache.
+	a, _ := build()
+	x := make([]float64, a.N)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	before := a.MatVec(x)
+	a.Add(0, a.N-1, 2)
+	after := a.MatVec(x)
+	if want := before[0] + 2*x[a.N-1]; after[0] != want {
+		t.Fatalf("MatVec after Add: got %v, want %v", after[0], want)
+	}
+}

@@ -11,6 +11,7 @@ func benchProblem() *Problem {
 
 func BenchmarkQuadraticPlace(b *testing.B) {
 	p := benchProblem()
+	b.ReportAllocs()
 	var hpwl float64
 	for i := 0; i < b.N; i++ {
 		pl, err := Quadratic(p, QuadraticOpts{})
@@ -28,6 +29,7 @@ func BenchmarkQuadraticPlace(b *testing.B) {
 
 func BenchmarkAnnealPlace(b *testing.B) {
 	p := benchProblem()
+	b.ReportAllocs()
 	var hpwl float64
 	for i := 0; i < b.N; i++ {
 		res, err := Anneal(p, AnnealOpts{Seed: 99})
@@ -41,6 +43,7 @@ func BenchmarkAnnealPlace(b *testing.B) {
 
 func BenchmarkMinCutPlace(b *testing.B) {
 	p := benchProblem()
+	b.ReportAllocs()
 	var hpwl float64
 	for i := 0; i < b.N; i++ {
 		pl, err := MinCut(p, 99)
@@ -58,6 +61,7 @@ func BenchmarkMinCutPlace(b *testing.B) {
 
 func BenchmarkRandomPlace(b *testing.B) {
 	p := benchProblem()
+	b.ReportAllocs()
 	var hpwl float64
 	for i := 0; i < b.N; i++ {
 		hpwl = p.HPWL(Random(p, int64(i)))

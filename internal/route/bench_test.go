@@ -29,6 +29,8 @@ func benchInstance(seed int64) (*Grid, []Net) {
 
 func benchRouteAll(b *testing.B, alg Algorithm, order Order) {
 	g, nets := benchInstance(42)
+	b.ReportAllocs()
+	b.ResetTimer()
 	var completion float64
 	var expanded int
 	for i := 0; i < b.N; i++ {
@@ -45,10 +47,58 @@ func BenchmarkRouteAStarGivenOrder(b *testing.B)    { benchRouteAll(b, AStar, Or
 func BenchmarkRouteAStarShortFirst(b *testing.B)    { benchRouteAll(b, AStar, OrderShortFirst) }
 func BenchmarkRouteAStarLongFirst(b *testing.B)     { benchRouteAll(b, AStar, OrderLongFirst) }
 
+// largeBenchInstance is the flow-scale routing load (EXPERIMENTS.md
+// "Net-parallel routing"): a 128×128 two-layer grid, 600 random
+// blocks, 220 two-pin nets with distinct pins.
+func largeBenchInstance() (*Grid, []Net) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGrid(128, 128, DefaultCost())
+	for i := 0; i < 600; i++ {
+		g.Block(Point{X: rng.Intn(128), Y: rng.Intn(128), L: rng.Intn(Layers)})
+	}
+	used := map[Point]bool{}
+	var nets []Net
+	for i := 0; len(nets) < 220 && i < 4000; i++ {
+		a := Point{X: rng.Intn(128), Y: rng.Intn(128), L: 0}
+		b := Point{X: rng.Intn(128), Y: rng.Intn(128), L: 0}
+		if a == b || g.Blocked(a) || g.Blocked(b) || used[a] || used[b] {
+			continue
+		}
+		used[a], used[b] = true, true
+		nets = append(nets, Net{Name: fmt.Sprintf("n%d", len(nets)), A: a, B: b})
+	}
+	return g, nets
+}
+
+// BenchmarkRouteLargeGrid measures the full RouteAll engines at flow
+// scale. The serial and parallel sub-benchmarks produce identical
+// Results; they differ only in wall clock and allocation behavior.
+func BenchmarkRouteLargeGrid(b *testing.B) {
+	g, nets := largeBenchInstance()
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var routed int
+			for i := 0; i < b.N; i++ {
+				res := RouteAll(g.Clone(), nets, Opts{
+					Alg: AStar, Order: OrderShortFirst, RipupRounds: 3, Seed: 7,
+					Workers: workers,
+				})
+				routed = len(res.Paths)
+			}
+			b.ReportMetric(float64(routed), "routed")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("workers4", run(4))
+}
+
 func BenchmarkSingleNetAStarVsDijkstra(b *testing.B) {
 	g := NewGrid(100, 100, DefaultCost())
 	net := Net{Name: "x", A: Point{X: 2, Y: 3, L: 0}, B: Point{X: 95, Y: 90, L: 0}}
 	b.Run("dijkstra", func(b *testing.B) {
+		b.ReportAllocs()
 		var exp int
 		for i := 0; i < b.N; i++ {
 			_, _, e, err := RouteNet(g, net, Dijkstra)
@@ -60,6 +110,7 @@ func BenchmarkSingleNetAStarVsDijkstra(b *testing.B) {
 		b.ReportMetric(float64(exp), "expanded")
 	})
 	b.Run("astar", func(b *testing.B) {
+		b.ReportAllocs()
 		var exp int
 		for i := 0; i < b.N; i++ {
 			_, _, e, err := RouteNet(g, net, AStar)

@@ -1,10 +1,12 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Net is a two-pin connection request.
@@ -48,120 +50,15 @@ const (
 	AStar
 )
 
-// pq is the expansion frontier.
-type pqItem struct {
-	p    Point
-	cost int // g-cost
-	prio int // g + heuristic
-}
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].prio < q[j].prio }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
 // RouteNet finds a minimum-cost path for one net on the current grid
 // (the net's own pins may be blocked by pin markers; they are treated
 // as usable). It returns the path, its cost, and the number of grid
-// vertices expanded.
+// vertices expanded. Search scratch comes from a process-wide pool,
+// so repeated calls allocate little beyond the returned path.
 func RouteNet(g *Grid, net Net, alg Algorithm) (Path, int, int, error) {
-	if !g.In(net.A) || !g.In(net.B) {
-		return nil, 0, 0, fmt.Errorf("route: net %s pin off grid", net.Name)
-	}
-	usable := func(p Point) bool {
-		if p == net.A || p == net.B {
-			return g.In(p)
-		}
-		return !g.Blocked(p)
-	}
-	h := func(p Point) int {
-		if alg != AStar {
-			return 0
-		}
-		dx, dy := p.X-net.B.X, p.Y-net.B.Y
-		if dx < 0 {
-			dx = -dx
-		}
-		if dy < 0 {
-			dy = -dy
-		}
-		return g.Cost.Unit * (dx + dy)
-	}
-	const inf = int(^uint(0) >> 1)
-	dist := [Layers][]int{}
-	prev := [Layers][]Point{}
-	done := [Layers][]bool{}
-	for l := 0; l < Layers; l++ {
-		dist[l] = make([]int, g.W*g.H)
-		prev[l] = make([]Point, g.W*g.H)
-		done[l] = make([]bool, g.W*g.H)
-		for i := range dist[l] {
-			dist[l][i] = inf
-		}
-	}
-	getD := func(p Point) int { return dist[p.L][g.idx(p)] }
-	setD := func(p Point, d int) { dist[p.L][g.idx(p)] = d }
-	setP := func(p, fr Point) { prev[p.L][g.idx(p)] = fr }
-	getP := func(p Point) Point { return prev[p.L][g.idx(p)] }
-	isDone := func(p Point) bool { return done[p.L][g.idx(p)] }
-	markDone := func(p Point) { done[p.L][g.idx(p)] = true }
-
-	frontier := &pq{{p: net.A, cost: 0, prio: h(net.A)}}
-	setD(net.A, 0)
-	expanded := 0
-	var nbuf []Point
-	for frontier.Len() > 0 {
-		it := heap.Pop(frontier).(pqItem)
-		if isDone(it.p) {
-			continue
-		}
-		markDone(it.p)
-		expanded++
-		if it.p == net.B {
-			// Backtrace.
-			var path Path
-			for p := net.B; ; p = getP(p) {
-				path = append(path, p)
-				if p == net.A {
-					break
-				}
-			}
-			// Reverse.
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			return path, it.cost, expanded, nil
-		}
-		nbuf = nbuf[:0]
-		for _, q := range [...]Point{
-			{it.p.X + 1, it.p.Y, it.p.L}, {it.p.X - 1, it.p.Y, it.p.L},
-			{it.p.X, it.p.Y + 1, it.p.L}, {it.p.X, it.p.Y - 1, it.p.L},
-			{it.p.X, it.p.Y, 1 - it.p.L},
-		} {
-			if !g.In(q) || !usable(q) || isDone(q) {
-				continue
-			}
-			sc := g.StepCost(it.p, q)
-			if sc < 0 {
-				continue
-			}
-			nd := it.cost + sc
-			if nd < getD(q) {
-				setD(q, nd)
-				setP(q, it.p)
-				heap.Push(frontier, pqItem{p: q, cost: nd, prio: nd + h(q)})
-			}
-		}
-	}
-	return nil, 0, expanded, fmt.Errorf("route: net %s unroutable", net.Name)
+	st := getState(g.W, g.H)
+	defer putState(st)
+	return routeNetState(g, net, alg, st)
 }
 
 // Order selects the net-processing order for RouteAll.
@@ -183,6 +80,33 @@ type Opts struct {
 	Order       Order
 	RipupRounds int // extra rounds attempting failed nets (default 3)
 	Seed        int64
+
+	// Workers selects the engine: <=1 routes nets strictly serially;
+	// >1 routes waves of nets concurrently on that many goroutines
+	// and commits their paths in order-index sequence. The Result is
+	// byte-identical for every Workers value and every GOMAXPROCS
+	// (DESIGN.md §8): commit order, not completion order, decides
+	// conflicts, and a conflicting net is re-queued and re-routed
+	// against the exact grid state the serial engine would have seen.
+	Workers int
+	// WaveSize caps how many nets are routed speculatively per wave;
+	// 0 means 4×Workers. Any value yields the same Result.
+	WaveSize int
+	// OnWave, when non-nil, receives one WaveStats per finished wave
+	// (parallel engine only). Telemetry stays out of Result so serial
+	// and parallel results stay comparable byte-for-byte.
+	OnWave func(WaveStats)
+}
+
+// WaveStats summarizes one wave of the parallel engine.
+type WaveStats struct {
+	Index     int           // wave number, from 0
+	Nets      int           // nets routed speculatively this wave
+	Committed int           // paths committed
+	Failed    int           // nets proven unroutable this wave
+	Conflicts int           // footprint collisions detected (0 or 1)
+	Requeued  int           // nets pushed back to the next wave
+	Duration  time.Duration // wall-clock time of the wave
 }
 
 // Result reports a full routing run.
@@ -197,7 +121,9 @@ type Result struct {
 // RouteAll routes every net, marking used cells as blocked for later
 // nets, then runs rip-up-and-reroute rounds on failures: each failed
 // net gets the blocking wires of one randomly chosen earlier net
-// ripped up, both are rerouted.
+// ripped up, both are rerouted. With Opts.Workers > 1 the first phase
+// runs net-parallel in waves (see Opts.Workers); the rip-up rounds
+// always run serially on whatever still fails.
 func RouteAll(g *Grid, nets []Net, opts Opts) *Result {
 	if opts.RipupRounds == 0 {
 		opts.RipupRounds = 3
@@ -260,9 +186,13 @@ func RouteAll(g *Grid, nets []Net, opts Opts) *Result {
 		return true
 	}
 	var failed []int
-	for _, ni := range order {
-		if !routeOne(ni) {
-			failed = append(failed, ni)
+	if opts.Workers > 1 {
+		failed = routeWaves(g, nets, order, opts, res)
+	} else {
+		for _, ni := range order {
+			if !routeOne(ni) {
+				failed = append(failed, ni)
+			}
 		}
 	}
 	// candidates returns routed nets whose paths cross the failed
@@ -360,6 +290,120 @@ func RouteAll(g *Grid, nets []Net, opts Opts) *Result {
 		res.Vias += p.Vias()
 	}
 	return res
+}
+
+// spec is one wave net's speculative result.
+type spec struct {
+	path     Path
+	expanded int
+	failed   bool
+	touched  []int32 // search footprint, reused wave-to-wave
+}
+
+// routeWaves is the net-parallel first phase: route the next WaveSize
+// nets of the order concurrently against the current grid as a
+// read-only snapshot, then commit in order-index sequence. A net
+// whose search footprint intersects a cell committed earlier in the
+// same wave — or that follows such a net in the wave — is re-queued,
+// so every committed path (and every recorded failure) is exactly
+// what the serial engine would have produced; see DESIGN.md §8 for
+// the argument. Returns the failed net indices in serial order.
+func routeWaves(g *Grid, nets []Net, order []int, opts Opts, res *Result) []int {
+	workers := opts.Workers
+	waveSize := opts.WaveSize
+	if waveSize <= 0 {
+		waveSize = 4 * workers
+	}
+	plane := g.W * g.H
+	// stamp marks cells committed in the current wave (by epoch), the
+	// conflict test for later order indices of the same wave.
+	stamp := make([]uint32, Layers*plane)
+	var epoch uint32
+	specs := make([]spec, waveSize)
+	pending := order
+	var failed []int
+	for waveIdx := 0; len(pending) > 0; waveIdx++ {
+		start := time.Now()
+		n := waveSize
+		if n > len(pending) {
+			n = len(pending)
+		}
+		batch := pending[:n]
+		// Search phase: the grid is a read-only snapshot; workers
+		// claim batch slots by atomic counter. Each worker keeps one
+		// pooled searchState for its whole run.
+		var next int32
+		nw := workers
+		if nw > n {
+			nw = n
+		}
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				st := getState(g.W, g.H)
+				defer putState(st)
+				for {
+					i := int(atomic.AddInt32(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					path, _, exp, err := routeNetState(g, nets[batch[i]], opts.Alg, st)
+					specs[i].path = path
+					specs[i].expanded = exp
+					specs[i].failed = err != nil
+					specs[i].touched = append(specs[i].touched[:0], st.touched...)
+				}
+			}()
+		}
+		wg.Wait()
+		// Commit phase, strictly in order-index sequence.
+		epoch++
+		committed, failedHere, conflicts := 0, 0, 0
+		commitEnd := n
+		for i := 0; i < n; i++ {
+			s := &specs[i]
+			hit := false
+			for _, c := range s.touched {
+				if stamp[c] == epoch {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				// This net's search read cells an earlier commit of
+				// this wave just claimed; its result (and those of
+				// every net after it, which assumed this net routed
+				// against the same snapshot) may diverge from the
+				// serial engine. Re-queue them all for the next wave.
+				conflicts++
+				commitEnd = i
+				break
+			}
+			res.Expanded += s.expanded
+			if s.failed {
+				failed = append(failed, batch[i])
+				failedHere++
+				continue
+			}
+			res.Paths[nets[batch[i]].Name] = s.path
+			for _, pt := range s.path {
+				g.Block(pt)
+				stamp[pt.L*plane+pt.Y*g.W+pt.X] = epoch
+			}
+			committed++
+		}
+		pending = pending[commitEnd:]
+		if opts.OnWave != nil {
+			opts.OnWave(WaveStats{
+				Index: waveIdx, Nets: n, Committed: committed,
+				Failed: failedHere, Conflicts: conflicts,
+				Requeued: n - commitEnd, Duration: time.Since(start),
+			})
+		}
+	}
+	return failed
 }
 
 // Validate checks that a path is a legal route for the net on an

@@ -27,6 +27,7 @@ func DefaultSpec() []DomainSpec {
 		{"cover", 32, func(s uint64) Instance { return GenCover(s) }},
 		{"cnf", 32, func(s uint64) Instance { return GenCNF(s) }},
 		{"route", 24, func(s uint64) Instance { return GenRoute(s) }},
+		{"proute", 12, func(s uint64) Instance { return GenPRoute(s) }},
 		{"spd", 16, func(s uint64) Instance { return GenSPD(s) }},
 		{"place", 12, func(s uint64) Instance { return GenPlace(s) }},
 		{"net", 16, func(s uint64) Instance { return GenNet(s) }},

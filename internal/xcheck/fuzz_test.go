@@ -52,3 +52,25 @@ func FuzzRoute(f *testing.F) {
 		}
 	})
 }
+
+// conflictHeavySeeds are GenPRoute seeds whose instances provoke the
+// most wave conflicts under Workers=4 (found by sweeping seeds 0..2999
+// and counting WaveStats.Conflicts). They pin the commit protocol's
+// contended paths into both the fuzz seed corpus and TestPRouteConflictHeavySeeds.
+var conflictHeavySeeds = []uint64{598, 462, 1493, 1239, 1661, 767, 1532, 1942}
+
+func FuzzPRoute(f *testing.F) {
+	seedCorpus(f, "proute")
+	// Conflict-heavy instances (many wave collisions and requeues under
+	// Workers=4): the commit protocol's interesting paths, pinned so
+	// every fuzz run exercises them even before exploration.
+	for _, seed := range conflictHeavySeeds {
+		f.Add(seed)
+	}
+	c := &Checker{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, m := range c.CheckPRoute(GenPRoute(seed)) {
+			t.Errorf("%v", m)
+		}
+	})
+}

@@ -30,7 +30,7 @@ import (
 // reproduce: regenerate the instance from Seed and rerun the named
 // oracle, or paste Dump into the matching parser.
 type Mismatch struct {
-	Domain string // "cover", "cnf", "route", "place", "spd", "net"
+	Domain string // "cover", "cnf", "route", "proute", "place", "spd", "net"
 	Seed   uint64 // instance seed (regenerate with Gen<Domain>(seed))
 	Detail string // which engines disagreed and how
 	Dump   string // deterministic instance dump
@@ -78,6 +78,8 @@ func (c *Checker) Check(inst Instance) []Mismatch {
 		return c.CheckCNF(v)
 	case *RouteInstance:
 		return c.CheckRoute(v)
+	case *PRouteInstance:
+		return c.CheckPRoute(v)
 	case *SPDInstance:
 		return c.CheckSPD(v)
 	case *PlaceInstance:
