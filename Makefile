@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench xcheck fuzz corpus chaos
+.PHONY: check vet build test race bench bench-record xcheck fuzz corpus chaos
 
 check: vet build race xcheck fuzz bench
 
@@ -20,6 +20,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Record the performance trajectory: run the hot-path benchmarks at a
+# real benchtime and parse them into BENCH_FILE (see EXPERIMENTS.md
+# for the format). Compare against the committed BENCH_PR*.json files
+# to see drift across PRs.
+BENCH_FILE ?= BENCH_PR6.json
+BENCH_PKGS ?= ./internal/obs ./internal/portal ./internal/route ./internal/mooc
+bench-record:
+	$(GO) test -bench=. -benchmem -benchtime=0.5s -timeout 30m $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchrecord -out $(BENCH_FILE)
 
 # Replay the golden differential-testing corpus (byte-identical
 # regeneration + zero oracle mismatches).

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: vlsicad/internal/obs
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCounterInc             	89308080	         6.045 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCounterVecWithInc-8    	36538740	        17.54 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWritePrometheus        	   22374	     53012 ns/op	   12144 B/op	     295 allocs/op
+PASS
+ok  	vlsicad/internal/obs	5.040s
+goos: linux
+goarch: amd64
+pkg: vlsicad/internal/route
+BenchmarkMazeRoute              	     100	    105000 ns/op
+PASS
+ok  	vlsicad/internal/route	1.2s
+?   	vlsicad/cmd/grader	[no test files]
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) != 4 {
+		t.Fatalf("parsed %d benchmarks: %v", len(doc), doc)
+	}
+	r, ok := doc["vlsicad/internal/obs.BenchmarkCounterInc"]
+	if !ok || r.NsPerOp != 6.045 || r.Iterations != 89308080 || r.AllocsPerOp != 0 {
+		t.Errorf("CounterInc = %+v (present %v)", r, ok)
+	}
+	// GOMAXPROCS suffix stripped.
+	r, ok = doc["vlsicad/internal/obs.BenchmarkCounterVecWithInc"]
+	if !ok || r.NsPerOp != 17.54 {
+		t.Errorf("CounterVecWithInc = %+v (present %v)", r, ok)
+	}
+	r, ok = doc["vlsicad/internal/obs.BenchmarkWritePrometheus"]
+	if !ok || r.AllocedBytesPerOp != 12144 || r.AllocsPerOp != 295 {
+		t.Errorf("WritePrometheus = %+v (present %v)", r, ok)
+	}
+	// ns/op-only lines (no -benchmem) still parse.
+	r, ok = doc["vlsicad/internal/route.BenchmarkMazeRoute"]
+	if !ok || r.NsPerOp != 105000 || r.AllocedBytesPerOp != 0 {
+		t.Errorf("MazeRoute = %+v (present %v)", r, ok)
+	}
+}
+
+func TestMarshalStable(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("marshal is not byte-stable")
+	}
+	// Valid JSON, keys sorted.
+	var m map[string]BenchResult
+	if err := json.Unmarshal(a, &m); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, a)
+	}
+	if len(m) != len(doc) {
+		t.Errorf("round-trip lost entries: %d vs %d", len(m), len(doc))
+	}
+	lines := strings.Split(strings.TrimSpace(string(a)), "\n")
+	var keys []string
+	for _, l := range lines {
+		if i := strings.Index(l, `"`); i >= 0 {
+			j := strings.Index(l[i+1:], `"`)
+			keys = append(keys, l[i+1:i+1+j])
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Errorf("keys not sorted: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", out}, strings.NewReader(sampleBenchOutput), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]BenchResult
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("file not JSON: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "recorded 4 benchmarks") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+
+	// No benchmarks on stdin is an error, not an empty file.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(nil, strings.NewReader("PASS\nok x 1s\n"), &stdout, &stderr); code == 0 {
+		t.Error("empty input should fail")
+	}
+}

@@ -8,9 +8,17 @@
 // fault storm, with the obs metrics snapshot the live course staff
 // would watch.
 //
+// With -metrics-addr the whole run is scrapeable live: an HTTP
+// exporter serves Prometheus /metrics, the JSON /snapshot, /healthz,
+// /readyz (wired to the drill pool's breaker state) and /debug/spans
+// while the figures run; -hold keeps the process (and exporter) alive
+// afterwards so an external scraper can collect the final state —
+// the mode the nightly CI scrape drill exercises.
+//
 // Usage:
 //
 //	moocsim [-fig all|1|2|8|9|10|11|telemetry|portal] [-seed N]
+//	        [-metrics-addr host:port] [-hold duration]
 package main
 
 import (
@@ -38,8 +46,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	fig := fs.String("fig", "all", "figure to print: all, 1, 2, 8, 9, 10, 11, telemetry, portal")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	metricsAddr := fs.String("metrics-addr", "", "serve live telemetry (/metrics /snapshot /healthz /readyz /debug/spans) on this address")
+	hold := fs.Duration("hold", 0, "keep the process (and telemetry endpoint) alive this long after the figures finish")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// One observer feeds every figure's telemetry and, with
+	// -metrics-addr, the live exporter. Readiness follows the drill
+	// pool while one is running (ready otherwise).
+	ob := obs.NewObserver(nil)
+	gate := &readyGate{}
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, ob, obs.HandlerOpts{Ready: gate.check})
+		if err != nil {
+			fmt.Fprintln(stderr, "moocsim:", err)
+			return 1
+		}
+		defer srv.Close()
+		rc := obs.StartRuntimeCollector(ob, time.Second)
+		defer rc.Stop()
+		fmt.Fprintf(stdout, "serving telemetry on %s\n", srv.URL())
 	}
 
 	cohort := mooc.Simulate(mooc.PaperParams(), *seed)
@@ -127,19 +154,45 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	if show("telemetry") {
 		fmt.Fprintln(stdout, "=== Section 2.2: grading telemetry (200-participant sample) ===")
-		ob := obs.NewObserver(nil)
 		tel := mooc.SimulateGrading(cohort, 4, 200, 3, 0.8, *seed, ob)
 		fmt.Fprint(stdout, tel)
 		fmt.Fprintln(stdout, "  metrics snapshot:")
 		ob.Snapshot().Metrics.WriteText(stdout)
 	}
 	if show("portal") {
-		if err := portalStorm(stdout, uint64(*seed)); err != nil {
+		if err := portalStorm(stdout, uint64(*seed), ob, gate); err != nil {
 			fmt.Fprintln(stderr, "moocsim:", err)
 			return 1
 		}
 	}
+	if *hold > 0 {
+		fmt.Fprintf(stdout, "holding for %v (scrape away)\n", *hold)
+		time.Sleep(*hold)
+	}
 	return 0
+}
+
+// readyGate is a mutable /readyz check: nil (ready) until the drill
+// pool installs its Ready method, cleared again before pool close.
+type readyGate struct {
+	mu sync.Mutex
+	fn func() error
+}
+
+func (g *readyGate) set(fn func() error) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+func (g *readyGate) check() error {
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
 }
 
 // portalStorm drives the resilient job pool through a seeded fault
@@ -147,9 +200,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // tools loose on planet earth" deployment. Every course tool is
 // wrapped in a deterministic fault injector; concurrent users submit
 // jobs; the report shows what the isolation machinery absorbed.
-func portalStorm(w io.Writer, seed uint64) error {
+func portalStorm(w io.Writer, seed uint64, ob *obs.Observer, gate *readyGate) error {
 	fmt.Fprintln(w, "=== portal resilience drill (sharded pool, seeded faults) ===")
-	ob := obs.NewObserver(nil)
 	p := portal.NewPool(portal.PoolConfig{
 		Workers:    4,
 		QueueDepth: 64,
@@ -160,6 +212,10 @@ func portalStorm(w io.Writer, seed uint64) error {
 	})
 	defer p.Close()
 	p.SetObserver(ob)
+	// /readyz follows the pool's breaker state for the duration of
+	// the drill; cleared before Close so a held process reads ready.
+	gate.set(p.Ready)
+	defer gate.set(nil)
 
 	cfg := fault.Config{Panic: 0.04, Hang: 0.02, Transient: 0.10,
 		Slow: 0.05, Garbage: 0.04, SlowDelay: 200 * time.Microsecond}

@@ -1,0 +1,29 @@
+// Command promlint validates a Prometheus text-format page on stdin
+// (exposition format 0.0.4) and exits non-zero on the first malformed
+// line — the checker the nightly scrape drill pipes a live /metrics
+// page through.
+//
+// Usage:
+//
+//	curl -fs http://127.0.0.1:9187/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vlsicad/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stderr))
+}
+
+func run(stdin io.Reader, stderr io.Writer) int {
+	if err := obs.ValidateExposition(stdin); err != nil {
+		fmt.Fprintf(stderr, "promlint: %v\n", err)
+		return 1
+	}
+	return 0
+}

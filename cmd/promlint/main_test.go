@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var stderr bytes.Buffer
+	ok := "# TYPE jobs_total counter\njobs_total{tool=\"kbdd\"} 5\n"
+	if code := run(strings.NewReader(ok), &stderr); code != 0 {
+		t.Errorf("valid page rejected: %s", stderr.String())
+	}
+	stderr.Reset()
+	bad := "jobs_total{tool=kbdd} 5\n"
+	if code := run(strings.NewReader(bad), &stderr); code == 0 {
+		t.Error("malformed page accepted")
+	}
+	if !strings.Contains(stderr.String(), "promlint:") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}

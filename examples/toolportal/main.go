@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -23,6 +24,12 @@ import (
 )
 
 func main() {
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live telemetry (/metrics /snapshot /healthz /readyz /debug/spans) on this address")
+	hold := flag.Duration("hold", 0,
+		"keep the portal (and telemetry endpoint) alive this long after the demo finishes")
+	flag.Parse()
+
 	ob := obs.NewObserver(nil)
 	p := portal.NewPool(portal.PoolConfig{
 		Workers:    4,
@@ -33,6 +40,18 @@ func main() {
 	})
 	defer p.Close()
 	p.SetObserver(ob)
+	if *metricsAddr != "" {
+		// The live telemetry plane: scrape /metrics while the demo
+		// runs; /readyz follows the pool's breaker state.
+		srv, err := obs.Serve(*metricsAddr, ob, obs.HandlerOpts{Ready: p.Ready})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		rc := obs.StartRuntimeCollector(ob, time.Second)
+		defer rc.Stop()
+		fmt.Printf("serving telemetry on %s\n", srv.URL())
+	}
 	if err := portal.CourseTools(p); err != nil {
 		log.Fatal(err)
 	}
@@ -96,6 +115,11 @@ func main() {
 
 	fmt.Println("\n=== portal telemetry ===")
 	ob.Snapshot().WriteText(os.Stdout)
+
+	if *hold > 0 {
+		fmt.Printf("holding for %v (scrape away)\n", *hold)
+		time.Sleep(*hold)
+	}
 }
 
 type echo struct{}

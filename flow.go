@@ -135,9 +135,9 @@ func RunFlow(r io.Reader, opts FlowOpts) (*Flow, error) {
 	sp := ob.StartSpan("flow.parse")
 	nw, err := netlist.ParseBLIF(r)
 	d := sp.End()
-	ob.Histogram("flow_stage_seconds:parse").ObserveDuration(d)
+	ob.HistogramVec("flow_stage_seconds", []string{"stage"}).With("parse").ObserveDuration(d)
 	if err != nil {
-		ob.Counter("flow_stage_errors:parse").Inc()
+		ob.CounterVec("flow_stage_errors_total", "stage").With("parse").Inc()
 		return nil, err
 	}
 	f, ferr := RunFlowOnNetwork(nw, opts)
@@ -166,13 +166,15 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 
 	root := ob.StartSpan("flow")
 	root.SetLabel("model", nw.Name)
+	stageSeconds := ob.HistogramVec("flow_stage_seconds", []string{"stage"})
+	stageErrors := ob.CounterVec("flow_stage_errors_total", "stage")
 	// endStage closes a stage span and records its timing-table row.
 	endStage := func(sp *obs.Span, name string, err error) {
 		d := sp.End()
 		f.Stages = append(f.Stages, StageTiming{Name: name, Duration: d})
-		ob.Histogram("flow_stage_seconds:" + name).ObserveDuration(d)
+		stageSeconds.With(name).ObserveDuration(d)
 		if err != nil {
-			ob.Counter("flow_stage_errors:" + name).Inc()
+			stageErrors.With(name).Inc()
 		}
 	}
 	// finish closes the root span, attaches the trace, and counts the
@@ -292,6 +294,12 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Wave telemetry: one labeled family instead of three flat
+	// counters, so a scrape shows committed/conflict/requeue rates as
+	// comparable series of flow_route_wave_events_total{kind}.
+	waveEvents := ob.CounterVec("flow_route_wave_events_total", "kind")
+	committed, conflicts, requeued :=
+		waveEvents.With("committed"), waveEvents.With("conflict"), waveEvents.With("requeued")
 	f.Routing = route.RouteAll(grid, nets, route.Opts{
 		Alg:         route.AStar,
 		Order:       route.OrderShortFirst,
@@ -306,9 +314,9 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 			wsp.SetLabel("conflicts", strconv.Itoa(ws.Conflicts))
 			wsp.SetLabel("requeued", strconv.Itoa(ws.Requeued))
 			wsp.End()
-			ob.Counter("flow_route_nets_routed").Add(int64(ws.Committed))
-			ob.Counter("flow_route_wave_conflicts").Add(int64(ws.Conflicts))
-			ob.Counter("flow_route_requeues").Add(int64(ws.Requeued))
+			committed.Add(int64(ws.Committed))
+			conflicts.Add(int64(ws.Conflicts))
+			requeued.Add(int64(ws.Requeued))
 			ob.Histogram("flow_route_wave_seconds").ObserveDuration(ws.Duration)
 		},
 	})

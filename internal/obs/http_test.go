@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String(), rec.Header().Get("Content-Type")
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	o := NewObserver(nil)
+	o.Counter("hits_total").Add(7)
+	o.CounterVec("tool_hits_total", "tool").With("kbdd").Inc()
+	h := NewHandler(o, HandlerOpts{})
+
+	code, body, ctype := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ctype != want {
+		t.Errorf("content type = %q, want %q", ctype, want)
+	}
+	if !strings.Contains(body, "hits_total 7") ||
+		!strings.Contains(body, `tool_hits_total{tool="kbdd"} 1`) {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics page invalid: %v", err)
+	}
+}
+
+func TestHandlerSnapshot(t *testing.T) {
+	o := NewObserver(nil)
+	o.Counter("hits_total").Add(3)
+	sp := o.StartSpan("op")
+	sp.End()
+	code, body, ctype := get(t, NewHandler(o, HandlerOpts{}), "/snapshot")
+	if code != 200 || ctype != "application/json" {
+		t.Fatalf("/snapshot = %d %q", code, ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if snap.Metrics.Counters["hits_total"] != 3 || len(snap.Spans) != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestHandlerProbes(t *testing.T) {
+	o := NewObserver(nil)
+	var mu sync.Mutex
+	var readyErr error
+	setReady := func(err error) { mu.Lock(); readyErr = err; mu.Unlock() }
+	h := NewHandler(o, HandlerOpts{Ready: func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return readyErr
+	}})
+
+	if code, body, _ := get(t, h, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _, _ := get(t, h, "/readyz"); code != 200 {
+		t.Errorf("/readyz while ready = %d", code)
+	}
+	setReady(errors.New("all 3 tool breakers open"))
+	code, body, _ := get(t, h, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while sick = %d", code)
+	}
+	if !strings.Contains(body, "all 3 tool breakers open") {
+		t.Errorf("/readyz body should carry the cause: %q", body)
+	}
+	setReady(nil)
+	if code, _, _ := get(t, h, "/readyz"); code != 200 {
+		t.Errorf("/readyz after recovery = %d", code)
+	}
+}
+
+func TestHandlerDebugSpans(t *testing.T) {
+	o := NewObserver(NewFakeClock(time.Unix(1700000000, 0).UTC(), time.Millisecond).Now)
+	root := o.StartSpan("flow")
+	child := root.StartChild("flow.route")
+	child.End()
+	root.End()
+	code, body, _ := get(t, NewHandler(o, HandlerOpts{}), "/debug/spans")
+	if code != 200 {
+		t.Fatalf("/debug/spans = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d:\n%s", len(lines), body)
+	}
+	// JSONL is in ID (start) order: root first, then the child.
+	var recRoot, recChild SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &recRoot); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &recChild); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if recRoot.Name != "flow" || recRoot.Parent != 0 {
+		t.Errorf("first span = %+v, want the flow root", recRoot)
+	}
+	if recChild.Name != "flow.route" || recChild.Parent != recRoot.ID {
+		t.Errorf("second span = %+v, want flow.route parented on %d", recChild, recRoot.ID)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	o := NewObserver(nil)
+	o.Counter("alive_total").Inc()
+	srv, err := Serve("127.0.0.1:0", o, HandlerOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "alive_total 1") {
+		t.Errorf("served page:\n%s", body)
+	}
+	if err := srv.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		t.Errorf("close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
+		t.Error("server still answering after Close")
+	}
+	var nilSrv *Server
+	if nilSrv.Close() != nil || nilSrv.Addr() != "" {
+		t.Error("nil server should be inert")
+	}
+}
+
+// TestConcurrentScrape runs live HTTP scrapes while goroutines create
+// series and observe into them — the race-mode guarantee that a scrape
+// never tears and always serves a parseable page.
+func TestConcurrentScrape(t *testing.T) {
+	o := NewObserver(nil)
+	srv, err := Serve("127.0.0.1:0", o, HandlerOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			jobs := o.CounterVec("scrape_jobs_total", "tool")
+			lat := o.HistogramVec("scrape_seconds", []string{"tool"}, 0.001, 0.1, 1)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tool := fmt.Sprintf("tool%d", (w*7+i)%5)
+				jobs.With(tool).Inc()
+				lat.With(tool).Observe(float64(i%10) * 0.01)
+				sp := o.StartSpan("job")
+				sp.End()
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		resp, err := http.Get(srv.URL() + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("scrape %d: status %d", i, resp.StatusCode)
+		}
+		if err := ValidateExposition(bytes.NewReader(body)); err != nil {
+			t.Fatalf("scrape %d malformed: %v\n%s", i, err, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

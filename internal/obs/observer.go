@@ -23,13 +23,42 @@ type Observer struct {
 // (time.Now when nil). Pass a FakeClock's Now for deterministic
 // snapshots in tests.
 func NewObserver(clock func() time.Time) *Observer {
+	return NewObserverWith(Config{Clock: clock})
+}
+
+// Config sizes an observer for long-running service use. The zero
+// value reproduces NewObserver(nil): wall clock, default ring
+// capacities, no span sampling.
+type Config struct {
+	// Clock is the time source (time.Now when nil).
+	Clock func() time.Time
+	// SpanCapacity bounds the finished-span ring (DefaultSpanCapacity
+	// when <= 0).
+	SpanCapacity int
+	// SpanSampleOneIn keeps 1-in-N root spans (<= 1 keeps all),
+	// decided by a seeded hash — the long-run answer to unbounded
+	// trace growth: bounded ring plus deterministic decimation.
+	SpanSampleOneIn int64
+	// SampleSeed seeds the sampling hash (so two runs with the same
+	// seed and call sequence retain the same spans).
+	SampleSeed uint64
+	// EventCapacity bounds the event ring (DefaultEventCapacity when
+	// <= 0).
+	EventCapacity int
+}
+
+// NewObserverWith builds an observer from an explicit Config.
+func NewObserverWith(cfg Config) *Observer {
+	clock := cfg.Clock
 	if clock == nil {
 		clock = time.Now
 	}
+	tr := NewTracer(clock, cfg.SpanCapacity)
+	tr.SetSampling(cfg.SpanSampleOneIn, cfg.SampleSeed)
 	return &Observer{
 		reg:    NewRegistry(),
-		tracer: NewTracer(clock, 0),
-		events: NewEventLog(clock, 0),
+		tracer: tr,
+		events: NewEventLog(clock, cfg.EventCapacity),
 		clock:  clock,
 	}
 }
@@ -93,6 +122,21 @@ func (o *Observer) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
 // Histogram is shorthand for Registry().Histogram.
 func (o *Observer) Histogram(name string, bounds ...float64) *Histogram {
 	return o.Registry().Histogram(name, bounds...)
+}
+
+// CounterVec is shorthand for Registry().CounterVec.
+func (o *Observer) CounterVec(name string, keys ...string) *CounterVec {
+	return o.Registry().CounterVec(name, keys...)
+}
+
+// GaugeVec is shorthand for Registry().GaugeVec.
+func (o *Observer) GaugeVec(name string, keys ...string) *GaugeVec {
+	return o.Registry().GaugeVec(name, keys...)
+}
+
+// HistogramVec is shorthand for Registry().HistogramVec.
+func (o *Observer) HistogramVec(name string, keys []string, bounds ...float64) *HistogramVec {
+	return o.Registry().HistogramVec(name, keys, bounds...)
 }
 
 // StartSpan is shorthand for Tracer().Start.

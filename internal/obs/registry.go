@@ -148,18 +148,24 @@ func (s HistogramSnapshot) Mean() float64 {
 // Registry holds named metrics. All methods are safe for concurrent
 // use and safe on a nil receiver (returning nil no-op metrics).
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
@@ -205,6 +211,10 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds (DefaultLatencyBuckets when none) on first use.
+// Fetching an existing histogram with explicit bounds that differ
+// from its registered ones panics: silently returning the old buckets
+// would file observations into bounds the caller never asked for.
+// Calls with no explicit bounds accept whatever is registered.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	if r == nil {
 		return nil
@@ -212,26 +222,52 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	r.mu.RLock()
 	h := r.hists[name]
 	r.mu.RUnlock()
-	if h != nil {
-		return h
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h = r.hists[name]; h == nil {
-		if len(bounds) == 0 {
-			bounds = DefaultLatencyBuckets()
+	if h == nil {
+		r.mu.Lock()
+		if h = r.hists[name]; h == nil {
+			b := bounds
+			if len(b) == 0 {
+				b = DefaultLatencyBuckets()
+			}
+			h = newHistogram(b)
+			r.hists[name] = h
 		}
-		h = newHistogram(bounds)
-		r.hists[name] = h
+		r.mu.Unlock()
+	}
+	if len(bounds) > 0 {
+		want := append([]float64(nil), bounds...)
+		sort.Float64s(want)
+		if !sameBounds(h.bounds, want) {
+			panic("obs: histogram " + name + " re-registered with different bucket bounds")
+		}
 	}
 	return h
 }
 
-// RegistrySnapshot is a point-in-time copy of every metric.
+// RegistrySnapshot is a point-in-time copy of every metric. The
+// labeled-family slices are sorted by each series' LabelString, so a
+// snapshot of a deterministic op sequence is itself deterministic.
 type RegistrySnapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]float64           `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters      map[string]int64              `json:"counters,omitempty"`
+	Gauges        map[string]float64            `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot  `json:"histograms,omitempty"`
+	CounterVecs   map[string][]LabeledCounter   `json:"counter_vecs,omitempty"`
+	GaugeVecs     map[string][]LabeledGauge     `json:"gauge_vecs,omitempty"`
+	HistogramVecs map[string][]LabeledHistogram `json:"histogram_vecs,omitempty"`
+}
+
+// snapHistogram copies one histogram's live state.
+func snapHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
 }
 
 // Snapshot copies the registry. Nil registries snapshot empty.
@@ -253,16 +289,61 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Count:  h.count.Load(),
-			Sum:    math.Float64frombits(h.sum.Load()),
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
+		s.Histograms[name] = snapHistogram(h)
+	}
+	for name, v := range r.counterVecs {
+		var series []LabeledCounter
+		for _, key := range v.sortedChildKeys() {
+			c, _ := v.m.Load(key)
+			series = append(series, LabeledCounter{
+				Labels: v.labels(key), Value: c.(*Counter).Value(),
+			})
 		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
+		if series != nil {
+			sort.Slice(series, func(i, j int) bool {
+				return LabelString(series[i].Labels) < LabelString(series[j].Labels)
+			})
+			if s.CounterVecs == nil {
+				s.CounterVecs = map[string][]LabeledCounter{}
+			}
+			s.CounterVecs[name] = series
 		}
-		s.Histograms[name] = hs
+	}
+	for name, v := range r.gaugeVecs {
+		var series []LabeledGauge
+		for _, key := range v.sortedChildKeys() {
+			g, _ := v.m.Load(key)
+			series = append(series, LabeledGauge{
+				Labels: v.labels(key), Value: g.(*Gauge).Value(),
+			})
+		}
+		if series != nil {
+			sort.Slice(series, func(i, j int) bool {
+				return LabelString(series[i].Labels) < LabelString(series[j].Labels)
+			})
+			if s.GaugeVecs == nil {
+				s.GaugeVecs = map[string][]LabeledGauge{}
+			}
+			s.GaugeVecs[name] = series
+		}
+	}
+	for name, v := range r.histVecs {
+		var series []LabeledHistogram
+		for _, key := range v.sortedChildKeys() {
+			h, _ := v.m.Load(key)
+			series = append(series, LabeledHistogram{
+				Labels: v.labels(key), Hist: snapHistogram(h.(*Histogram)),
+			})
+		}
+		if series != nil {
+			sort.Slice(series, func(i, j int) bool {
+				return LabelString(series[i].Labels) < LabelString(series[j].Labels)
+			})
+			if s.HistogramVecs == nil {
+				s.HistogramVecs = map[string][]LabeledHistogram{}
+			}
+			s.HistogramVecs[name] = series
+		}
 	}
 	return s
 }
@@ -294,5 +375,39 @@ func (s RegistrySnapshot) WriteText(w io.Writer) {
 		h := s.Histograms[n]
 		fmt.Fprintf(w, "histogram  %-40s count=%d sum=%.6g mean=%.6g\n",
 			n, h.Count, h.Sum, h.Mean())
+	}
+	names = names[:0]
+	for n := range s.CounterVecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, sr := range s.CounterVecs[n] {
+			fmt.Fprintf(w, "counter    %-40s %d\n",
+				n+"{"+LabelString(sr.Labels)+"}", sr.Value)
+		}
+	}
+	names = names[:0]
+	for n := range s.GaugeVecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, sr := range s.GaugeVecs[n] {
+			fmt.Fprintf(w, "gauge      %-40s %g\n",
+				n+"{"+LabelString(sr.Labels)+"}", sr.Value)
+		}
+	}
+	names = names[:0]
+	for n := range s.HistogramVecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, sr := range s.HistogramVecs[n] {
+			h := sr.Hist
+			fmt.Fprintf(w, "histogram  %-40s count=%d sum=%.6g mean=%.6g\n",
+				n+"{"+LabelString(sr.Labels)+"}", h.Count, h.Sum, h.Mean())
+		}
 	}
 }

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCollectRuntime(t *testing.T) {
+	o := NewObserver(nil)
+	CollectRuntime(o)
+	s := o.Registry().Snapshot()
+	for _, g := range []string{
+		"runtime_goroutines", "runtime_heap_alloc_bytes", "runtime_heap_objects",
+		"runtime_gc_pause_total_seconds", "runtime_gc_runs_total", "runtime_next_gc_bytes",
+	} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("gauge %s missing after CollectRuntime", g)
+		}
+	}
+	if s.Gauges["runtime_goroutines"] < 1 {
+		t.Errorf("runtime_goroutines = %g", s.Gauges["runtime_goroutines"])
+	}
+	if s.Gauges["runtime_heap_alloc_bytes"] <= 0 {
+		t.Errorf("runtime_heap_alloc_bytes = %g", s.Gauges["runtime_heap_alloc_bytes"])
+	}
+	CollectRuntime(nil) // no-op, no panic
+}
+
+func TestRuntimeCollectorLifecycle(t *testing.T) {
+	o := NewObserver(nil)
+	c := StartRuntimeCollector(o, time.Hour) // one synchronous sample, then idle
+	if v := o.Gauge("runtime_goroutines").Value(); v < 1 {
+		t.Errorf("first sample not taken before Start returned: goroutines = %g", v)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	var nilC *RuntimeCollector
+	nilC.Stop()
+	if StartRuntimeCollector(nil, time.Second) != nil {
+		t.Error("nil observer should return nil collector")
+	}
+}
+
+func TestRuntimeCollectorTicks(t *testing.T) {
+	o := NewObserver(nil)
+	c := StartRuntimeCollector(o, time.Millisecond)
+	defer c.Stop()
+	// The GC-runs gauge only moves on a real GC; goroutines is always
+	// refreshed — wait until the ticker has demonstrably fired by
+	// zeroing a gauge and watching the collector restore it.
+	deadline := time.After(2 * time.Second)
+	for {
+		o.Gauge("runtime_goroutines").Set(-1)
+		time.Sleep(5 * time.Millisecond)
+		if o.Gauge("runtime_goroutines").Value() >= 1 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("ticker never refreshed runtime gauges")
+		default:
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanSamplingDeterministic: the same seed and call sequence keeps
+// the same spans; a different seed keeps a different (still 1-in-N
+// sized) subset.
+func TestSpanSamplingDeterministic(t *testing.T) {
+	run := func(seed uint64) []int64 {
+		tr := NewTracer(NewFakeClock(time.Unix(1700000000, 0).UTC(), time.Millisecond).Now, 0)
+		tr.SetSampling(4, seed)
+		for i := 0; i < 400; i++ {
+			tr.Start("op").End()
+		}
+		var ids []int64
+		for _, rec := range tr.Snapshot() {
+			ids = append(ids, rec.ID)
+		}
+		return ids
+	}
+	a, b := run(17), run(17)
+	if len(a) == 0 {
+		t.Fatal("sampler kept nothing out of 400 spans at 1-in-4")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed kept %d vs %d spans", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed kept different spans at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// ~100 expected; the hash should land within a loose band.
+	if len(a) < 50 || len(a) > 200 {
+		t.Errorf("1-in-4 sampling kept %d of 400", len(a))
+	}
+	c := run(99)
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds kept the identical span subset")
+	}
+}
+
+func TestSpanSamplingChildrenFollowRoot(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	tr.SetSampling(3, 42)
+	type trace struct{ root, child, grand int64 }
+	var kept []trace
+	total := 0
+	for i := 0; i < 60; i++ {
+		root := tr.Start("root")
+		child := root.StartChild("child")
+		grand := child.StartChild("grand")
+		grand.End()
+		child.End()
+		root.End()
+		total += 3
+	}
+	recs := tr.Snapshot()
+	byID := map[int64]SpanRecord{}
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	// Every retained span's ancestors must also be retained: traces are
+	// whole or absent, never torn.
+	for _, r := range recs {
+		if r.Parent != 0 {
+			if _, ok := byID[r.Parent]; !ok {
+				t.Errorf("span %d (%s) retained without its parent %d", r.ID, r.Name, r.Parent)
+			}
+		}
+	}
+	if len(recs)%3 != 0 {
+		t.Errorf("retained %d spans — not whole traces of 3", len(recs))
+	}
+	if tr.SampledOut()+int64(len(recs)) != int64(total) {
+		t.Errorf("SampledOut %d + kept %d != finished %d", tr.SampledOut(), len(recs), total)
+	}
+	_ = kept
+}
+
+// TestSamplingDoesNotAffectDurations: unsampled spans still time
+// themselves, so latency histograms fed from End() stay complete.
+func TestSamplingDoesNotAffectDurations(t *testing.T) {
+	clock := NewFakeClock(time.Unix(1700000000, 0).UTC(), time.Millisecond)
+	tr := NewTracer(clock.Now, 0)
+	tr.SetSampling(1000000, 7) // keep (almost) nothing
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("op")
+		if d := sp.End(); d <= 0 {
+			t.Fatalf("unsampled span %d returned duration %v", i, d)
+		}
+	}
+}
+
+func TestSamplingOffKeepsEverything(t *testing.T) {
+	for _, n := range []int64{0, 1, -5} {
+		tr := NewTracer(nil, 0)
+		tr.SetSampling(n, 1)
+		for i := 0; i < 20; i++ {
+			tr.Start("op").End()
+		}
+		if got := len(tr.Snapshot()); got != 20 {
+			t.Errorf("SetSampling(%d): kept %d of 20", n, got)
+		}
+		if tr.SampledOut() != 0 {
+			t.Errorf("SetSampling(%d): SampledOut = %d", n, tr.SampledOut())
+		}
+	}
+}
+
+func TestObserverConfigSampling(t *testing.T) {
+	o := NewObserverWith(Config{
+		Clock:           NewFakeClock(time.Unix(1700000000, 0).UTC(), time.Millisecond).Now,
+		SpanCapacity:    8,
+		SpanSampleOneIn: 2,
+		SampleSeed:      3,
+	})
+	for i := 0; i < 100; i++ {
+		o.StartSpan("op").End()
+	}
+	spans := o.Tracer().Snapshot()
+	if len(spans) == 0 || len(spans) > 8 {
+		t.Errorf("retained %d spans, want 1..8 (capacity 8)", len(spans))
+	}
+	if o.Tracer().SampledOut() == 0 {
+		t.Error("1-in-2 sampling over 100 spans skipped none")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(NewFakeClock(time.Unix(1700000000, 0).UTC(), time.Millisecond).Now, 0)
+	root := tr.Start("a")
+	root.SetLabel("tool", "kbdd")
+	child := root.StartChild("b")
+	child.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), buf.String())
+	}
+	// Lines come in ID (start) order: the root "a" first even though
+	// it finished after its child.
+	var first, second SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID >= second.ID {
+		t.Errorf("JSONL not in ID order: %d then %d", first.ID, second.ID)
+	}
+	if first.Name != "a" || first.Labels["tool"] != "kbdd" {
+		t.Errorf("root labels lost: %+v", first)
+	}
+	var nilTr *Tracer
+	if err := nilTr.WriteJSONL(&buf); err != nil {
+		t.Errorf("nil tracer WriteJSONL: %v", err)
+	}
+}

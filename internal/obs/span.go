@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -11,15 +13,26 @@ import (
 // flow snapshot) never depend on wall time. IDs are assigned in start
 // order, so with a deterministic clock and call sequence the snapshot
 // is fully reproducible.
+//
+// For long-running services the ring can additionally be *sampled*:
+// with SetSampling(n, seed), only 1-in-n root spans (children follow
+// their root's decision) are retained, chosen by a seeded hash of the
+// span ID — deterministic for a given seed and call sequence, no RNG
+// state to race on. Unsampled spans still time themselves (End
+// returns the real duration, histograms fed from it are complete);
+// they just never enter the ring.
 type Tracer struct {
-	mu      sync.Mutex
-	clock   func() time.Time
-	nextID  int64
-	done    []SpanRecord // ring buffer, capacity cap
-	cap     int
-	next    int // ring write index
-	wrapped bool
-	dropped int64
+	mu         sync.Mutex
+	clock      func() time.Time
+	nextID     int64
+	done       []SpanRecord // ring buffer, capacity cap
+	cap        int
+	next       int // ring write index
+	wrapped    bool
+	dropped    int64
+	sampleN    int64  // keep 1-in-N roots; <=1 keeps everything
+	sampleSeed uint64 // hash seed for the sampling decision
+	sampledOut int64  // finished spans skipped by sampling
 }
 
 // DefaultSpanCapacity bounds the finished-span ring of a new Tracer.
@@ -38,15 +51,52 @@ func NewTracer(clock func() time.Time, capacity int) *Tracer {
 	return &Tracer{clock: clock, cap: capacity}
 }
 
+// SetSampling keeps 1-in-n root spans (n <= 1 keeps all), decided by
+// a SplitMix64 hash of seed^spanID. Safe on nil; affects spans
+// started after the call.
+func (t *Tracer) SetSampling(n int64, seed uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sampleN = n
+	t.sampleSeed = seed
+	t.mu.Unlock()
+}
+
+// SampledOut reports how many finished spans the sampler skipped.
+func (t *Tracer) SampledOut() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sampledOut
+}
+
+// sampleKeep decides whether a root span with the given id is
+// retained. Callers must hold t.mu.
+func (t *Tracer) sampleKeep(id int64) bool {
+	if t.sampleN <= 1 {
+		return true
+	}
+	z := t.sampleSeed ^ uint64(id)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z%uint64(t.sampleN) == 0
+}
+
 // Span is one timed operation. Start it with Tracer.Start or
 // Span.StartChild, optionally attach labels, then End it — only ended
 // spans appear in snapshots. All methods are safe on a nil receiver.
 type Span struct {
-	tr     *Tracer
-	id     int64
-	parent int64
-	name   string
-	start  time.Time
+	tr      *Tracer
+	id      int64
+	parent  int64
+	name    string
+	start   time.Time
+	sampled bool
 
 	mu     sync.Mutex
 	labels map[string]string
@@ -65,9 +115,9 @@ type SpanRecord struct {
 }
 
 // Start begins a root span. Safe on a nil tracer (returns nil).
-func (t *Tracer) Start(name string) *Span { return t.start(name, 0) }
+func (t *Tracer) Start(name string) *Span { return t.start(name, nil) }
 
-func (t *Tracer) start(name string, parent int64) *Span {
+func (t *Tracer) start(name string, parent *Span) *Span {
 	if t == nil {
 		return nil
 	}
@@ -75,8 +125,17 @@ func (t *Tracer) start(name string, parent int64) *Span {
 	t.nextID++
 	id := t.nextID
 	now := t.clock()
+	sp := &Span{tr: t, id: id, name: name, start: now}
+	if parent != nil {
+		// Children inherit the root's sampling decision so retained
+		// traces are always whole.
+		sp.parent = parent.id
+		sp.sampled = parent.sampled
+	} else {
+		sp.sampled = t.sampleKeep(id)
+	}
 	t.mu.Unlock()
-	return &Span{tr: t, id: id, parent: parent, name: name, start: now}
+	return sp
 }
 
 // StartChild begins a span parented on s. Safe on a nil span.
@@ -84,7 +143,7 @@ func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.start(name, s.id)
+	return s.tr.start(name, s)
 }
 
 // ID returns the span's id (0 for nil).
@@ -132,6 +191,11 @@ func (s *Span) End() time.Duration {
 	s.mu.Unlock()
 
 	t.mu.Lock()
+	if !s.sampled {
+		t.sampledOut++
+		t.mu.Unlock()
+		return d
+	}
 	rec := SpanRecord{
 		ID: s.id, Parent: s.parent, Name: s.name,
 		Start: s.start, Duration: d, Labels: labels,
@@ -181,4 +245,21 @@ func (t *Tracer) Dropped() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// WriteJSONL exports the retained spans as JSON Lines (one SpanRecord
+// per line, ID order) — the /debug/spans wire format, greppable and
+// streamable where the indented snapshot JSON is not. Safe on nil.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, rec := range t.Snapshot() {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labeled metric families. A *Vec is a family of series sharing one
+// name and one label-key set; With(values...) resolves (creating on
+// first use) the child metric for one label-value combination. The
+// portal uses these for per-tool/per-shard series instead of the
+// name+":"+tool string-concat convention the flat registry forced.
+//
+// Hot-path contract: With on an existing child is one lock-free
+// sync.Map read (no allocation for single-label families), and the
+// returned child is a plain *Counter/*Gauge/*Histogram — callers on
+// genuinely hot paths (the pool worker loop) resolve children once at
+// registration time and keep the handle, paying exactly the flat
+// metric's atomic cost per event.
+//
+// Determinism contract: snapshots list every family's series sorted
+// by their label rendering, and label keys inside each series render
+// sorted by key, so two registries fed the same operations export
+// byte-identical text regardless of creation interleaving.
+
+// labelSep joins label values into a child key. 0x1f (ASCII unit
+// separator) cannot appear in reasonable label values; even if it
+// does, the worst case is two combinations sharing a child series.
+const labelSep = "\x1f"
+
+// childKey encodes a positional value list. Single-label families —
+// the common case — use the value itself, allocation-free.
+func childKey(values []string) string {
+	if len(values) == 1 {
+		return values[0]
+	}
+	return strings.Join(values, labelSep)
+}
+
+// vecCore is the shared name/keys/children plumbing of the three
+// vector kinds.
+type vecCore struct {
+	name string
+	keys []string // in caller (With-positional) order
+	m    sync.Map // childKey -> child metric
+}
+
+// checkArity panics when With is called with the wrong number of
+// label values — a programming error, caught loudly like a wrong
+// printf verb rather than silently mis-filed telemetry.
+func (v *vecCore) checkArity(values []string) {
+	if len(values) != len(v.keys) {
+		panic("obs: " + v.name + ": wrong label cardinality")
+	}
+}
+
+// labels reconstructs the key->value map of one encoded child.
+func (v *vecCore) labels(key string) map[string]string {
+	var values []string
+	if len(v.keys) == 1 {
+		values = []string{key}
+	} else {
+		values = strings.Split(key, labelSep)
+	}
+	m := make(map[string]string, len(v.keys))
+	for i, k := range v.keys {
+		if i < len(values) {
+			m[k] = values[i]
+		}
+	}
+	return m
+}
+
+// sortedChildKeys returns the encoded child keys in deterministic
+// (sorted) order.
+func (v *vecCore) sortedChildKeys() []string {
+	var keys []string
+	v.m.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ vecCore }
+
+// With returns the child counter for the given label values (one per
+// registered key, in order), creating it on first use. Safe on nil
+// (returns a nil no-op counter); panics on wrong arity.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.checkArity(values)
+	k := childKey(values)
+	if c, ok := v.m.Load(k); ok {
+		return c.(*Counter)
+	}
+	c, _ := v.m.LoadOrStore(k, &Counter{})
+	return c.(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ vecCore }
+
+// With returns the child gauge for the given label values. Safe on
+// nil; panics on wrong arity.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.checkArity(values)
+	k := childKey(values)
+	if g, ok := v.m.Load(k); ok {
+		return g.(*Gauge)
+	}
+	g, _ := v.m.LoadOrStore(k, &Gauge{})
+	return g.(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family; every child shares the
+// family's bucket bounds.
+type HistogramVec struct {
+	vecCore
+	bounds []float64
+}
+
+// With returns the child histogram for the given label values. Safe
+// on nil; panics on wrong arity.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.checkArity(values)
+	k := childKey(values)
+	if h, ok := v.m.Load(k); ok {
+		return h.(*Histogram)
+	}
+	h, _ := v.m.LoadOrStore(k, newHistogram(v.bounds))
+	return h.(*Histogram)
+}
+
+// sameStrings reports element-wise equality.
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameBounds reports element-wise equality of bucket bounds.
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterVec returns the named counter family with the given label
+// keys, creating it on first use. Re-registering an existing family
+// with different keys panics — the two call sites would silently
+// shear one family into incompatible series otherwise.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.counterVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		r.mu.Lock()
+		if v = r.counterVecs[name]; v == nil {
+			v = &CounterVec{vecCore{name: name, keys: append([]string(nil), keys...)}}
+			r.counterVecs[name] = v
+		}
+		r.mu.Unlock()
+	}
+	if !sameStrings(v.keys, keys) {
+		panic("obs: counter vec " + name + " re-registered with different label keys")
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it on first use.
+// Re-registering with different keys panics.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.gaugeVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		r.mu.Lock()
+		if v = r.gaugeVecs[name]; v == nil {
+			v = &GaugeVec{vecCore{name: name, keys: append([]string(nil), keys...)}}
+			r.gaugeVecs[name] = v
+		}
+		r.mu.Unlock()
+	}
+	if !sameStrings(v.keys, keys) {
+		panic("obs: gauge vec " + name + " re-registered with different label keys")
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family with the given
+// label keys and bucket bounds (DefaultLatencyBuckets when nil),
+// creating it on first use. Re-registering with different keys or
+// bounds panics.
+func (r *Registry) HistogramVec(name string, keys []string, bounds ...float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	want := bounds
+	if len(want) == 0 {
+		want = DefaultLatencyBuckets()
+	}
+	want = append([]float64(nil), want...)
+	sort.Float64s(want)
+	r.mu.RLock()
+	v := r.histVecs[name]
+	r.mu.RUnlock()
+	if v == nil {
+		r.mu.Lock()
+		if v = r.histVecs[name]; v == nil {
+			v = &HistogramVec{
+				vecCore: vecCore{name: name, keys: append([]string(nil), keys...)},
+				bounds:  want,
+			}
+			r.histVecs[name] = v
+		}
+		r.mu.Unlock()
+	}
+	if !sameStrings(v.keys, keys) {
+		panic("obs: histogram vec " + name + " re-registered with different label keys")
+	}
+	if len(bounds) > 0 && !sameBounds(v.bounds, want) {
+		panic("obs: histogram vec " + name + " re-registered with different bucket bounds")
+	}
+	return v
+}
+
+// LabeledCounter is one series of a counter family in a snapshot.
+type LabeledCounter struct {
+	Labels map[string]string `json:"labels"`
+	Value  int64             `json:"value"`
+}
+
+// LabeledGauge is one series of a gauge family in a snapshot.
+type LabeledGauge struct {
+	Labels map[string]string `json:"labels"`
+	Value  float64           `json:"value"`
+}
+
+// LabeledHistogram is one series of a histogram family in a snapshot.
+type LabeledHistogram struct {
+	Labels map[string]string `json:"labels"`
+	Hist   HistogramSnapshot `json:"hist"`
+}
+
+// CounterSeries looks one series of a counter family out of the
+// snapshot by its labels (0, false when absent).
+func (s RegistrySnapshot) CounterSeries(name string, labels map[string]string) (int64, bool) {
+	want := LabelString(labels)
+	for _, sr := range s.CounterVecs[name] {
+		if LabelString(sr.Labels) == want {
+			return sr.Value, true
+		}
+	}
+	return 0, false
+}
+
+// GaugeSeries looks one series of a gauge family out of the snapshot
+// by its labels (0, false when absent).
+func (s RegistrySnapshot) GaugeSeries(name string, labels map[string]string) (float64, bool) {
+	want := LabelString(labels)
+	for _, sr := range s.GaugeVecs[name] {
+		if LabelString(sr.Labels) == want {
+			return sr.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramSeries looks one series of a histogram family out of the
+// snapshot by its labels (zero snapshot, false when absent).
+func (s RegistrySnapshot) HistogramSeries(name string, labels map[string]string) (HistogramSnapshot, bool) {
+	want := LabelString(labels)
+	for _, sr := range s.HistogramVecs[name] {
+		if LabelString(sr.Labels) == want {
+			return sr.Hist, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// LabelString renders a label map as `k1=v1,k2=v2` with keys sorted —
+// the deterministic series identity used for ordering and text dumps.
+func LabelString(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}

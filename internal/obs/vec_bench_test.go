@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// The tentpole's hot-path criterion: incrementing a labeled counter
+// through With must stay within 3x of a flat Counter.Add (see
+// BenchmarkCounterInc in bench_test.go); the cached-child pattern the
+// pool uses must match the flat cost exactly.
+
+func BenchmarkCounterVecWithInc(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_jobs_total", "tool")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("kbdd").Inc()
+	}
+}
+
+func BenchmarkCounterVecCachedChildInc(b *testing.B) {
+	c := NewRegistry().CounterVec("bench_jobs_total", "tool").With("kbdd")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterVecWithIncTwoLabels(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_shed_total", "tool", "reason")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("kbdd", "queue").Inc()
+	}
+}
+
+func BenchmarkHistogramVecWithObserve(b *testing.B) {
+	v := NewRegistry().HistogramVec("bench_seconds", []string{"tool"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("kbdd").Observe(0.003)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	s := goldenRegistry().Registry().Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.WritePrometheus(discard{})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mustPanic runs fn and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+func TestVecBasics(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.CounterVec("jobs_total", "tool")
+	jobs.With("kbdd").Add(3)
+	jobs.With("espresso").Inc()
+	jobs.With("kbdd").Inc()
+	if v := jobs.With("kbdd").Value(); v != 4 {
+		t.Errorf("jobs{kbdd} = %d, want 4", v)
+	}
+
+	depth := r.GaugeVec("queue_depth", "shard")
+	depth.With("0").Set(7)
+	depth.With("0").Add(-2)
+	if v := depth.With("0").Value(); v != 5 {
+		t.Errorf("depth{0} = %g, want 5", v)
+	}
+
+	lat := r.HistogramVec("job_seconds", []string{"tool"}, 0.1, 1, 10)
+	lat.With("kbdd").Observe(0.05)
+	lat.With("kbdd").Observe(5)
+	s := r.Snapshot()
+	h, ok := s.HistogramSeries("job_seconds", map[string]string{"tool": "kbdd"})
+	if !ok || h.Count != 2 {
+		t.Errorf("job_seconds{kbdd} count = %d (present %v), want 2", h.Count, ok)
+	}
+
+	// With returns the same child every time — callers may cache it.
+	if jobs.With("kbdd") != jobs.With("kbdd") {
+		t.Error("With should return a stable child pointer")
+	}
+}
+
+func TestVecMultiLabel(t *testing.T) {
+	r := NewRegistry()
+	shed := r.CounterVec("shed_total", "tool", "reason")
+	shed.With("kbdd", "queue").Add(2)
+	shed.With("kbdd", "breaker").Inc()
+	shed.With("sis", "queue").Inc()
+	s := r.Snapshot()
+	if v, ok := s.CounterSeries("shed_total", map[string]string{"tool": "kbdd", "reason": "queue"}); !ok || v != 2 {
+		t.Errorf("shed{kbdd,queue} = %d (present %v), want 2", v, ok)
+	}
+	if v, ok := s.CounterSeries("shed_total", map[string]string{"tool": "sis", "reason": "queue"}); !ok || v != 1 {
+		t.Errorf("shed{sis,queue} = %d (present %v), want 1", v, ok)
+	}
+	if _, ok := s.CounterSeries("shed_total", map[string]string{"tool": "sis", "reason": "breaker"}); ok {
+		t.Error("series that was never touched should be absent")
+	}
+}
+
+func TestVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("c", "tool")
+	gv := r.GaugeVec("g", "tool", "shard")
+	hv := r.HistogramVec("h", []string{"tool"})
+	mustPanic(t, "counter too many", func() { cv.With("a", "b") })
+	mustPanic(t, "counter too few", func() { cv.With() })
+	mustPanic(t, "gauge too few", func() { gv.With("a") })
+	mustPanic(t, "histogram too many", func() { hv.With("a", "b") })
+}
+
+func TestVecReRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c", "tool")
+	r.CounterVec("c", "tool") // same keys: fine
+	mustPanic(t, "counter keys", func() { r.CounterVec("c", "shard") })
+	mustPanic(t, "counter arity", func() { r.CounterVec("c", "tool", "shard") })
+
+	r.GaugeVec("g", "tool")
+	mustPanic(t, "gauge keys", func() { r.GaugeVec("g", "other") })
+
+	r.HistogramVec("h", []string{"tool"}, 1, 2)
+	r.HistogramVec("h", []string{"tool"}, 1, 2) // same: fine
+	r.HistogramVec("h", []string{"tool"})       // no explicit bounds: accepts existing
+	mustPanic(t, "hist keys", func() { r.HistogramVec("h", []string{"shard"}, 1, 2) })
+	mustPanic(t, "hist bounds", func() { r.HistogramVec("h", []string{"tool"}, 1, 2, 3) })
+}
+
+// TestHistogramBoundsMismatchPanics: the flat Histogram used to
+// silently hand back the existing instance when re-registered with
+// different bucket bounds, filing observations into buckets the second
+// caller never asked for. Now it panics.
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 0.1, 1, 10)
+	h.Observe(0.5)
+	if got := r.Histogram("lat", 0.1, 1, 10); got != h {
+		t.Error("same bounds should return the same histogram")
+	}
+	if got := r.Histogram("lat"); got != h {
+		t.Error("no explicit bounds should accept the registered histogram")
+	}
+	// Order-insensitive: bounds are sorted before comparison.
+	if got := r.Histogram("lat", 10, 1, 0.1); got != h {
+		t.Error("same bounds in different order should match")
+	}
+	mustPanic(t, "different bounds", func() { r.Histogram("lat", 0.5, 5) })
+	mustPanic(t, "subset bounds", func() { r.Histogram("lat", 0.1, 1) })
+
+	// Default-bucket histograms follow the same rule.
+	r.Histogram("lat2")
+	r.Histogram("lat2", DefaultLatencyBuckets()...)
+	mustPanic(t, "default vs explicit", func() { r.Histogram("lat2", 1, 2) })
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var r *Registry
+	// Nil registry: families and children are nil no-ops.
+	r.CounterVec("c", "tool").With("x").Inc()
+	r.GaugeVec("g", "tool").With("x").Set(1)
+	r.HistogramVec("h", []string{"tool"}).With("x").Observe(1)
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	cv.With("x").Inc()
+	gv.With("x").Add(1)
+	hv.With("x").ObserveDuration(0)
+	var o *Observer
+	o.CounterVec("c", "tool").With("x").Inc()
+}
+
+func TestSnapshotSeriesDeterministicOrder(t *testing.T) {
+	// Two registries fed the same series in opposite creation order
+	// must snapshot identically ordered slices.
+	build := func(order []string) RegistrySnapshot {
+		r := NewRegistry()
+		v := r.CounterVec("jobs", "tool")
+		for i, tool := range order {
+			v.With(tool).Add(int64(i + 1))
+		}
+		v.With("espresso").Add(100) // equalize values
+		v.With("kbdd").Add(100)
+		v.With("sis").Add(100)
+		s := r.Snapshot()
+		for i := range s.CounterVecs["jobs"] {
+			s.CounterVecs["jobs"][i].Value = 0 // compare order only
+		}
+		return s
+	}
+	a := build([]string{"kbdd", "espresso", "sis"})
+	b := build([]string{"sis", "kbdd", "espresso"})
+	as := fmt.Sprintf("%v", a.CounterVecs["jobs"])
+	bs := fmt.Sprintf("%v", b.CounterVecs["jobs"])
+	if as != bs {
+		t.Errorf("series order depends on creation order:\n%s\n%s", as, bs)
+	}
+	want := []string{"espresso", "kbdd", "sis"}
+	for i, sr := range a.CounterVecs["jobs"] {
+		if sr.Labels["tool"] != want[i] {
+			t.Errorf("series %d = %v, want tool=%s", i, sr.Labels, want[i])
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if got := LabelString(map[string]string{"b": "2", "a": "1"}); got != "a=1,b=2" {
+		t.Errorf("LabelString = %q", got)
+	}
+	if got := LabelString(nil); got != "" {
+		t.Errorf("LabelString(nil) = %q", got)
+	}
+}
+
+// TestVecConcurrent hammers one family from many goroutines while
+// snapshots run — meaningful mainly under -race.
+func TestVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "worker")
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := v.With(fmt.Sprintf("w%d", w%4))
+			for i := 0; i < iters; i++ {
+				child.Inc()
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, sr := range r.Snapshot().CounterVecs["c"] {
+		total += sr.Value
+	}
+	if total != workers*iters {
+		t.Errorf("total = %d, want %d", total, workers*iters)
+	}
+}

@@ -78,12 +78,39 @@ type poolShard struct {
 	history map[string][]JobResult
 }
 
+// toolMetrics caches one tool's labeled series, resolved once at
+// Register (and on SetObserver) so the worker hot path pays only the
+// child metric's atomic cost — never a label lookup per job.
+type toolMetrics struct {
+	jobs         *obs.Counter   // pool_tool_jobs_total{tool}
+	retries      *obs.Counter   // pool_tool_retries_total{tool}
+	shedQueue    *obs.Counter   // pool_tool_shed_total{tool,reason=queue}
+	shedBreaker  *obs.Counter   // pool_tool_shed_total{tool,reason=breaker}
+	seconds      *obs.Histogram // pool_tool_job_seconds{tool}
+	breakerState *obs.Gauge     // portal_breaker_state{tool}: 0 closed, 1 open, 2 half-open
+}
+
+// resolveToolMetrics binds one tool's labeled children on the given
+// observer. Nil-safe: a nil observer yields all-nil (no-op) children.
+func resolveToolMetrics(ob *obs.Observer, tool string) *toolMetrics {
+	shed := ob.CounterVec("pool_tool_shed_total", "tool", "reason")
+	return &toolMetrics{
+		jobs:         ob.CounterVec("pool_tool_jobs_total", "tool").With(tool),
+		retries:      ob.CounterVec("pool_tool_retries_total", "tool").With(tool),
+		shedQueue:    shed.With(tool, "queue"),
+		shedBreaker:  shed.With(tool, "breaker"),
+		seconds:      ob.HistogramVec("pool_tool_job_seconds", []string{"tool"}).With(tool),
+		breakerState: ob.GaugeVec("portal_breaker_state", "tool").With(tool),
+	}
+}
+
 // poolJob is one queued submission; done is buffered so the worker's
 // single send can never block or double-complete.
 type poolJob struct {
 	user, tool, input string
 	t                 Tool
 	br                *Breaker
+	tm                *toolMetrics
 	done              chan JobResult
 }
 
@@ -94,12 +121,14 @@ type poolJob struct {
 type Pool struct {
 	cfg PoolConfig
 
-	mu       sync.RWMutex // guards tools, breakers, clock/after/obs; read-heavy
-	tools    map[string]Tool
-	breakers map[string]*Breaker
-	clock    func() time.Time
-	after    func(time.Duration) <-chan time.Time
-	obs      *obs.Observer
+	mu        sync.RWMutex // guards tools, breakers, clock/after/obs; read-heavy
+	tools     map[string]Tool
+	breakers  map[string]*Breaker
+	toolStats map[string]*toolMetrics
+	shardJobs []*obs.Counter // pool_shard_jobs_total{shard}, index-aligned with shards
+	clock     func() time.Time
+	after     func(time.Duration) <-chan time.Time
+	obs       *obs.Observer
 
 	rngMu    sync.Mutex // jitter stream has its own lock off the hot path
 	rngState uint64
@@ -117,19 +146,21 @@ type Pool struct {
 func NewPool(cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
 	p := &Pool{
-		cfg:      cfg,
-		tools:    map[string]Tool{},
-		breakers: map[string]*Breaker{},
-		clock:    time.Now,
-		after:    time.After,
-		obs:      obs.Default(),
-		rngState: cfg.Seed,
-		shards:   make([]poolShard, cfg.Shards),
-		jobs:     make(chan *poolJob, cfg.QueueDepth),
+		cfg:       cfg,
+		tools:     map[string]Tool{},
+		breakers:  map[string]*Breaker{},
+		toolStats: map[string]*toolMetrics{},
+		clock:     time.Now,
+		after:     time.After,
+		obs:       obs.Default(),
+		rngState:  cfg.Seed,
+		shards:    make([]poolShard, cfg.Shards),
+		jobs:      make(chan *poolJob, cfg.QueueDepth),
 	}
 	for i := range p.shards {
 		p.shards[i].history = map[string][]JobResult{}
 	}
+	p.resolveShardCounters()
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go p.worker()
@@ -151,13 +182,41 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// SetObserver redirects the pool's telemetry (nil detaches it).
+// SetObserver redirects the pool's telemetry (nil detaches it). The
+// per-tool and per-shard labeled children are re-resolved against the
+// new observer so cached handles keep pointing at live series.
 func (p *Pool) SetObserver(o *obs.Observer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.obs = o
-	for _, br := range p.breakers {
-		p.wireBreaker(br, "")
+	p.resolveShardCounters()
+	for name, br := range p.breakers {
+		p.toolStats[name] = resolveToolMetrics(o, name)
+		p.toolStats[name].breakerState.Set(breakerStateValue(br.State()))
+		p.wireBreaker(br, name)
+	}
+}
+
+// resolveShardCounters rebinds pool_shard_jobs_total{shard} children.
+// Callers must hold p.mu (or be the constructor).
+func (p *Pool) resolveShardCounters() {
+	vec := p.obs.CounterVec("pool_shard_jobs_total", "shard")
+	p.shardJobs = make([]*obs.Counter, len(p.shards))
+	for i := range p.shardJobs {
+		p.shardJobs[i] = vec.With(strconv.Itoa(i))
+	}
+}
+
+// breakerStateValue encodes a breaker state for the
+// portal_breaker_state gauge: 0 closed, 1 open, 2 half-open.
+func breakerStateValue(s BreakerState) float64 {
+	switch s {
+	case BreakerOpen:
+		return 1
+	case BreakerHalfOpen:
+		return 2
+	default:
+		return 0
 	}
 }
 
@@ -190,28 +249,26 @@ func (p *Pool) Register(t Tool) error {
 	}
 	p.tools[name] = t
 	br := NewBreaker(p.cfg.Breaker, p.clock)
+	p.toolStats[name] = resolveToolMetrics(p.obs, name)
+	p.toolStats[name].breakerState.Set(breakerStateValue(BreakerClosed))
 	p.wireBreaker(br, name)
 	p.breakers[name] = br
 	return nil
 }
 
 // wireBreaker points a breaker's transition hook at the current
-// observer. Callers must hold p.mu; name may be "" to keep the
-// breaker's existing tool label (used when swapping observers).
+// observer: every flip moves the portal_breaker_state{tool} gauge,
+// counts a labeled transition, bumps the flat aggregate, and logs an
+// event. Callers must hold p.mu.
 func (p *Pool) wireBreaker(br *Breaker, name string) {
 	ob := p.obs
-	if name == "" {
-		for n, b := range p.breakers {
-			if b == br {
-				name = n
-				break
-			}
-		}
-	}
 	tool := name
+	stateGauge := p.toolStats[name].breakerState
+	transitions := ob.CounterVec("pool_breaker_transitions_total", "tool", "to")
 	br.setOnTransition(func(from, to BreakerState) {
+		stateGauge.Set(breakerStateValue(to))
+		transitions.With(tool, to.String()).Inc()
 		ob.Counter("pool_breaker_" + to.String()).Inc()
-		ob.Counter("pool_breaker_" + to.String() + ":" + tool).Inc()
 		ob.Emit("pool.breaker", map[string]string{
 			"tool": tool, "from": from.String(), "to": to.String(),
 		})
@@ -242,14 +299,19 @@ func (p *Pool) BreakerState(tool string) (BreakerState, bool) {
 	return br.State(), true
 }
 
-// shard maps a user to their history shard by FNV-1a hash.
-func (p *Pool) shard(user string) *poolShard {
+// shardIndex maps a user to their history shard by FNV-1a hash.
+func (p *Pool) shardIndex(user string) int {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(user); i++ {
 		h ^= uint64(user[i])
 		h *= 1099511628211
 	}
-	return &p.shards[h%uint64(len(p.shards))]
+	return int(h % uint64(len(p.shards)))
+}
+
+// shard returns the user's history shard.
+func (p *Pool) shard(user string) *poolShard {
+	return &p.shards[p.shardIndex(user)]
 }
 
 // jitter draws a uniform sample in [0, 1) from the pool's seeded
@@ -274,6 +336,7 @@ func (p *Pool) Submit(user, tool, input string) (JobResult, error) {
 	p.mu.RLock()
 	t, ok := p.tools[tool]
 	br := p.breakers[tool]
+	tm := p.toolStats[tool]
 	ob := p.obs
 	p.mu.RUnlock()
 	if !ok {
@@ -282,11 +345,11 @@ func (p *Pool) Submit(user, tool, input string) (JobResult, error) {
 	}
 	if err := br.Allow(); err != nil {
 		ob.Counter("pool_jobs_shed_breaker").Inc()
-		ob.Counter("pool_jobs_shed_breaker:" + tool).Inc()
+		tm.shedBreaker.Inc()
 		ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "breaker"})
 		return JobResult{}, fmt.Errorf("portal: tool %q: %w", tool, err)
 	}
-	j := &poolJob{user: user, tool: tool, input: input, t: t, br: br,
+	j := &poolJob{user: user, tool: tool, input: input, t: t, br: br, tm: tm,
 		done: make(chan JobResult, 1)}
 
 	p.lifeMu.RLock()
@@ -305,7 +368,7 @@ func (p *Pool) Submit(user, tool, input string) (JobResult, error) {
 		// give back any half-open probe slot the breaker reserved.
 		br.Release()
 		ob.Counter("pool_jobs_shed_queue").Inc()
-		ob.Counter("pool_jobs_shed_queue:" + tool).Inc()
+		tm.shedQueue.Inc()
 		ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "queue"})
 		return JobResult{}, ErrQueueFull
 	}
@@ -320,10 +383,13 @@ func (p *Pool) worker() {
 	for j := range p.jobs {
 		p.mu.RLock()
 		ob := p.obs
+		shardJobs := p.shardJobs
 		p.mu.RUnlock()
 		ob.Gauge("pool_queue_depth").Add(-1)
 		res := p.runJob(j, ob)
-		sh := p.shard(j.user)
+		idx := p.shardIndex(j.user)
+		shardJobs[idx].Inc()
+		sh := &p.shards[idx]
 		sh.mu.Lock()
 		h := append(sh.history[j.user], res)
 		// Trim in blocks so the cap costs O(1) amortized: only once
@@ -364,7 +430,7 @@ func (p *Pool) runJob(j *poolJob, ob *obs.Observer) JobResult {
 			break
 		}
 		ob.Counter("pool_retries").Inc()
-		ob.Counter("pool_retries:" + j.tool).Inc()
+		j.tm.retries.Inc()
 		<-after(p.cfg.Retry.Delay(attempt, p.jitter()))
 	}
 	res.Attempts = attempt
@@ -377,7 +443,7 @@ func (p *Pool) runJob(j *poolJob, ob *obs.Observer) JobResult {
 
 	ob.Gauge("pool_jobs_inflight").Add(-1)
 	ob.Counter("pool_jobs_total").Inc()
-	ob.Counter("pool_jobs:" + j.tool).Inc()
+	j.tm.jobs.Inc()
 	if res.TimedOut {
 		ob.Counter("pool_jobs_timeout").Inc()
 	}
@@ -385,7 +451,7 @@ func (p *Pool) runJob(j *poolJob, ob *obs.Observer) JobResult {
 		ob.Counter("pool_jobs_error").Inc()
 	}
 	ob.Histogram("pool_job_seconds").ObserveDuration(res.Duration)
-	ob.Histogram("pool_job_seconds:" + j.tool).ObserveDuration(res.Duration)
+	j.tm.seconds.ObserveDuration(res.Duration)
 	sp.SetLabel("timed_out", strconv.FormatBool(res.TimedOut))
 	sp.SetLabel("attempts", strconv.Itoa(attempt))
 	sp.End()
@@ -399,6 +465,35 @@ func (p *Pool) History(user string) []JobResult {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return reverseHistory(sh.history[user], len(sh.history[user]))
+}
+
+// Ready reports whether the pool can usefully accept work — the
+// /readyz answer. It returns an error once the pool is closed, or
+// when every registered tool's breaker is open (the portal is up but
+// shedding 100% of load); a half-open breaker counts as ready since
+// probes are being admitted.
+func (p *Pool) Ready() error {
+	p.lifeMu.RLock()
+	closed := p.closed
+	p.lifeMu.RUnlock()
+	if closed {
+		return ErrPoolClosed
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.breakers) == 0 {
+		return nil
+	}
+	open := 0
+	for _, br := range p.breakers {
+		if br.State() == BreakerOpen {
+			open++
+		}
+	}
+	if open == len(p.breakers) {
+		return fmt.Errorf("portal: all %d tool breakers open", open)
+	}
+	return nil
 }
 
 // HistoryN returns the user's n most recent results, newest first —

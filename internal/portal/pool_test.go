@@ -56,8 +56,11 @@ func TestPoolSubmitAndHistory(t *testing.T) {
 		t.Fatal("unknown user should have empty history")
 	}
 	m := ob.Snapshot().Metrics
-	if m.Counters["pool_jobs_total"] != 5 || m.Counters["pool_jobs:echo"] != 5 {
+	if m.Counters["pool_jobs_total"] != 5 {
 		t.Fatalf("counters = %v", m.Counters)
+	}
+	if v, ok := m.CounterSeries("pool_tool_jobs_total", map[string]string{"tool": "echo"}); !ok || v != 5 {
+		t.Fatalf("pool_tool_jobs_total{tool=echo} = %d (present %v)", v, ok)
 	}
 	if m.Gauges["pool_queue_depth"] != 0 || m.Gauges["pool_jobs_inflight"] != 0 {
 		t.Fatalf("gauges not drained: %v", m.Gauges)
