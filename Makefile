@@ -2,7 +2,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench bench-record xcheck fuzz corpus chaos
+.PHONY: check vet build test race bench bench-record bench-gate xcheck fuzz corpus chaos
 
 check: vet build race xcheck fuzz bench
 
@@ -25,11 +25,24 @@ bench:
 # real benchtime and parse them into BENCH_FILE (see EXPERIMENTS.md
 # for the format). Compare against the committed BENCH_PR*.json files
 # to see drift across PRs.
-BENCH_FILE ?= BENCH_PR6.json
-BENCH_PKGS ?= ./internal/obs ./internal/portal ./internal/route ./internal/mooc
+BENCH_FILE ?= BENCH_PR7.json
+BENCH_PKGS ?= ./internal/obs ./internal/portal ./internal/route ./internal/mooc ./internal/place
+BENCH_TIME ?= 0.5s
 bench-record:
-	$(GO) test -bench=. -benchmem -benchtime=0.5s -timeout 30m $(BENCH_PKGS) \
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCH_TIME) -timeout 30m $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchrecord -out $(BENCH_FILE)
+
+# Allocation-regression gate: re-measure the benchmarks and fail if
+# any allocates more per op than the committed trajectory file records
+# (ns/op is never gated — it moves with machine load; allocs/op is
+# exact). The gate MUST use the same BENCH_TIME the baseline was
+# recorded with: allocs/op includes sync.Pool warm-up amortized over
+# the iteration count, so measuring at a different benchtime (say 1x)
+# reports setup allocations as steady state and false-positives.
+BENCH_BASELINE ?= $(BENCH_FILE)
+bench-gate:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCH_TIME) -timeout 30m $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchrecord -compare $(BENCH_BASELINE)
 
 # Replay the golden differential-testing corpus (byte-identical
 # regeneration + zero oracle mismatches).
@@ -43,6 +56,7 @@ fuzz:
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzSATvsBDD -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzRoute$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzPRoute -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzPAnneal -fuzztime=$(FUZZTIME)
 
 # Regenerate testdata/xcheck from the pinned master seed.
 corpus:

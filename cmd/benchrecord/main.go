@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | benchrecord -out BENCH_PR6.json
+//	go test -bench=. -benchmem ./... | benchrecord -out BENCH_PR7.json
+//	go test -bench=. -benchmem ./... | benchrecord -compare BENCH_PR7.json
+//	benchrecord -compare old.json new.json
 //
 // Results are keyed by package-qualified benchmark name with the
 // GOMAXPROCS suffix stripped (BenchmarkCounterInc-8 and
 // BenchmarkCounterInc are the same trajectory point on different
 // machines), and the document's keys are sorted so successive
 // recordings diff cleanly.
+//
+// -compare is the CI regression gate: it exits nonzero when any
+// benchmark present in both documents allocates more per op in the new
+// one than -tolerance allows. Only allocs/op is gated — it is a count
+// the runtime reports exactly, independent of machine load, so a 1x
+// benchtime run gates reliably where ns/op would flake.
 package main
 
 import (
@@ -50,8 +58,44 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchrecord", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "write JSON here instead of stdout")
+	compare := fs.String("compare", "", "baseline JSON: gate allocs/op regressions against it")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional allocs/op growth before -compare fails")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *compare != "" {
+		baseline, err := readDocument(*compare)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrecord: %v\n", err)
+			return 1
+		}
+		// New measurements come from a second JSON file when given,
+		// otherwise from bench output on stdin (the Makefile pipe form).
+		var current Document
+		if fs.NArg() > 0 {
+			current, err = readDocument(fs.Arg(0))
+		} else {
+			current, err = Parse(stdin)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrecord: %v\n", err)
+			return 1
+		}
+		if len(current) == 0 {
+			fmt.Fprintln(stderr, "benchrecord: no benchmarks to compare")
+			return 1
+		}
+		regressions, checked := Compare(baseline, current, *tolerance)
+		for _, r := range regressions {
+			fmt.Fprintln(stderr, "benchrecord: REGRESSION:", r)
+		}
+		if len(regressions) > 0 {
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchrecord: %d benchmarks within %.0f%% allocs/op of %s\n",
+			checked, *tolerance*100, *compare)
+		return 0
 	}
 
 	doc, err := Parse(stdin)
@@ -157,6 +201,50 @@ func parseBenchLine(f []string) (string, BenchResult, bool) {
 		}
 	}
 	return name, res, seen
+}
+
+// readDocument loads a recorded trajectory file.
+func readDocument(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// Compare gates current against baseline: every benchmark present in
+// both documents may grow allocs/op by at most the tolerance fraction
+// (with an absolute slack of 1 alloc so near-zero baselines don't gate
+// on noise). Benchmarks only in one document are skipped — renames and
+// new benchmarks must not fail the gate. Returns the regression
+// descriptions sorted by name and the number of benchmarks checked.
+func Compare(baseline, current Document, tolerance float64) ([]string, int) {
+	var regressions []string
+	checked := 0
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := baseline[name]
+		if !ok {
+			continue
+		}
+		checked++
+		cur := current[name]
+		limit := int64(float64(base.AllocsPerOp)*(1+tolerance)) + 1
+		if cur.AllocsPerOp > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %d -> %d (limit %d)",
+					name, base.AllocsPerOp, cur.AllocsPerOp, limit))
+		}
+	}
+	return regressions, checked
 }
 
 // Marshal renders the document with sorted keys and a trailing

@@ -120,3 +120,79 @@ func TestRun(t *testing.T) {
 		t.Error("empty input should fail")
 	}
 }
+
+func TestCompare(t *testing.T) {
+	baseline := Document{
+		"pkg.BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 100},
+		"pkg.BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 0},
+		"pkg.BenchmarkGone": {NsPerOp: 100, AllocsPerOp: 5},
+	}
+	current := Document{
+		"pkg.BenchmarkA":   {NsPerOp: 500, AllocsPerOp: 105}, // within 10% — ns/op is never gated
+		"pkg.BenchmarkB":   {NsPerOp: 100, AllocsPerOp: 1},   // +1 absolute slack
+		"pkg.BenchmarkNew": {NsPerOp: 100, AllocsPerOp: 9999},
+	}
+	regs, checked := Compare(baseline, current, 0.10)
+	if len(regs) != 0 || checked != 2 {
+		t.Fatalf("clean compare: regs=%v checked=%d", regs, checked)
+	}
+
+	current["pkg.BenchmarkA"] = BenchResult{NsPerOp: 100, AllocsPerOp: 200}
+	current["pkg.BenchmarkB"] = BenchResult{NsPerOp: 100, AllocsPerOp: 3}
+	regs, _ = Compare(baseline, current, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	// Sorted by name, with the numbers in the message.
+	if !strings.Contains(regs[0], "BenchmarkA") || !strings.Contains(regs[0], "100 -> 200") {
+		t.Errorf("regs[0] = %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "BenchmarkB") {
+		t.Errorf("regs[1] = %q", regs[1])
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	var stdout, stderr bytes.Buffer
+
+	// Record a baseline from the sample output...
+	if code := run([]string{"-out", old}, strings.NewReader(sampleBenchOutput), &stdout, &stderr); code != 0 {
+		t.Fatalf("record: exit %d, stderr: %s", code, stderr.String())
+	}
+
+	// ...identical re-measurement passes the gate (stdin form).
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-compare", old}, strings.NewReader(sampleBenchOutput), &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "within") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+
+	// A regressed re-measurement fails (two-file form).
+	regressed := strings.Replace(sampleBenchOutput, "295 allocs/op", "600 allocs/op", 1)
+	newFile := filepath.Join(dir, "new.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-out", newFile}, strings.NewReader(regressed), &stdout, &stderr); code != 0 {
+		t.Fatalf("record new: exit %d, stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-compare", old, newFile}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed compare: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "REGRESSION") || !strings.Contains(stderr.String(), "BenchmarkWritePrometheus") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	// Missing baseline file is an error, not a pass.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-compare", filepath.Join(dir, "nope.json")}, strings.NewReader(sampleBenchOutput), &stdout, &stderr); code != 1 {
+		t.Errorf("missing baseline: exit %d", code)
+	}
+}

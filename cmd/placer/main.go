@@ -6,6 +6,12 @@
 // Usage:
 //
 //	placer -case fract -algo quadratic|anneal|random [-seed N] [-dump]
+//	placer -case prim1 -algo anneal -chains 4 -workers 2
+//
+// For -algo anneal, -chains fixes the number of independent annealing
+// chains (the best result wins) and -workers bounds how many run
+// concurrently: the placement depends only on -seed and -chains, never
+// on -workers.
 package main
 
 import (
@@ -28,6 +34,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	caseName := fs.String("case", "fract", "benchmark case (fract, prim1, struct, prim2)")
 	algo := fs.String("algo", "quadratic", "placement algorithm: quadratic, mincut, anneal, random")
 	seed := fs.Int64("seed", 1, "instance and algorithm seed")
+	chains := fs.Int("chains", 1, "anneal: independent chains (fixes the result)")
+	workers := fs.Int("workers", 0, "anneal: concurrent chains, 0 = GOMAXPROCS (never changes the result)")
 	dump := fs.Bool("dump", false, "print the placement (cell x y per line)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,7 +73,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	case "anneal":
 		var res *place.AnnealResult
-		res, err = place.Anneal(p, place.AnnealOpts{Seed: *seed})
+		res, err = place.Anneal(p, place.AnnealOpts{Seed: *seed, Chains: *chains, Workers: *workers})
 		if err == nil {
 			pl = res.Placement
 		}

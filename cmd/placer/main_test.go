@@ -21,6 +21,31 @@ func TestPlacerRandom(t *testing.T) {
 	}
 }
 
+// TestPlacerAnnealWorkersInvariant: the -workers knob bounds
+// concurrency only — the full output (summary line and -dump rows) is
+// identical for every value at fixed -seed and -chains.
+func TestPlacerAnnealWorkersInvariant(t *testing.T) {
+	runAnneal := func(workers string) string {
+		var out, errb strings.Builder
+		code := run([]string{"-case", "fract", "-algo", "anneal",
+			"-seed", "7", "-chains", "3", "-workers", workers, "-dump"},
+			strings.NewReader(""), &out, &errb)
+		if code != 0 {
+			t.Fatalf("workers=%s: code=%d stderr=%q", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	ref := runAnneal("1")
+	if !strings.Contains(ref, "algo=anneal") || !strings.Contains(ref, "(legal)") {
+		t.Fatalf("output = %q, want a legal anneal summary", ref)
+	}
+	for _, w := range []string{"2", "4", "0"} {
+		if got := runAnneal(w); got != ref {
+			t.Errorf("workers=%s output differs from workers=1:\n%s\nvs\n%s", w, got, ref)
+		}
+	}
+}
+
 func TestPlacerErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-case", "nope"}, strings.NewReader(""), &out, &errb); code != 1 {

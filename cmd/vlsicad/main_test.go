@@ -67,6 +67,34 @@ func TestFlowJSON(t *testing.T) {
 	}
 }
 
+// TestFlowAnnealPlaceWorkersInvariant: -anneal-place refines the
+// placement and the summary line is identical for every -workers
+// value (chains fix the result; workers only bound concurrency).
+func TestFlowAnnealPlaceWorkersInvariant(t *testing.T) {
+	placementLine := func(out string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "placement") {
+				return l
+			}
+		}
+		t.Fatalf("no placement line in:\n%s", out)
+		return ""
+	}
+	code, ref, errb := runVLSI(t, adderBLIF, "-anneal-place", "-workers", "1", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb)
+	}
+	for _, w := range []string{"2", "0"} {
+		code, out, errb := runVLSI(t, adderBLIF, "-anneal-place", "-workers", w, "-seed", "3")
+		if code != 0 {
+			t.Fatalf("workers=%s: code=%d stderr=%q", w, code, errb)
+		}
+		if placementLine(out) != placementLine(ref) {
+			t.Errorf("workers=%s placement differs:\n%s\nvs\n%s", w, placementLine(out), placementLine(ref))
+		}
+	}
+}
+
 func TestFlowErrors(t *testing.T) {
 	if code, _, errb := runVLSI(t, "not a blif file"); code != 1 || !strings.Contains(errb, "vlsicad:") {
 		t.Errorf("garbage input: code=%d stderr=%q", code, errb)

@@ -118,6 +118,67 @@ func TestFlowSnapshotDeterministic(t *testing.T) {
 	}
 }
 
+// TestFlowAnnealPlace: the opt-in annealing refinement never worsens
+// HPWL, is byte-identical for every PlaceWorkers value (chains, not
+// workers, determine the result), and lands its chain telemetry.
+func TestFlowAnnealPlace(t *testing.T) {
+	base, err := RunFlow(strings.NewReader(obsTestBLIF), FlowOpts{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (*Flow, *obs.Observer) {
+		ob := obs.NewObserver(obs.NewFakeClock(time.Unix(1700000000, 0).UTC(), time.Millisecond).Now)
+		f, err := RunFlow(strings.NewReader(obsTestBLIF),
+			FlowOpts{Seed: 3, AnnealPlace: true, PlaceChains: 3, PlaceWorkers: workers, Obs: ob})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, ob
+	}
+	ref, ob := run(1)
+	if ref.HPWL > base.HPWL {
+		t.Errorf("annealed HPWL %g worse than legalized %g", ref.HPWL, base.HPWL)
+	}
+	for _, w := range []int{2, 4, 0} {
+		f, _ := run(w)
+		if f.HPWL != ref.HPWL {
+			t.Errorf("workers=%d: HPWL %g != serial %g", w, f.HPWL, ref.HPWL)
+		}
+		if len(f.Placement.X) != len(ref.Placement.X) {
+			t.Fatalf("workers=%d: placement size differs", w)
+		}
+		for i := range ref.Placement.X {
+			if f.Placement.X[i] != ref.Placement.X[i] || f.Placement.Y[i] != ref.Placement.Y[i] {
+				t.Fatalf("workers=%d: cell %d placed differently", w, i)
+			}
+		}
+	}
+	m := ob.Snapshot().Metrics
+	for _, kind := range []string{"moves", "accepted", "recomputes"} {
+		if v, ok := m.CounterSeries("flow_place_chain_events_total", map[string]string{"kind": kind}); !ok || v < 0 {
+			t.Errorf("flow_place_chain_events_total{kind=%s} = %d (present %v)", kind, v, ok)
+		}
+	}
+	if v, ok := m.CounterSeries("flow_place_chain_events_total", map[string]string{"kind": "moves"}); !ok || v <= 0 {
+		t.Errorf("no chain moves recorded: %d (present %v)", v, ok)
+	}
+	if h, ok := m.HistogramSeries("flow_stage_seconds", map[string]string{"stage": "place"}); !ok || h.Count != 1 {
+		t.Errorf("place stage histogram count = %d (present %v)", h.Count, ok)
+	}
+	if g, ok := m.Gauges["flow_place_anneal_hpwl"]; !ok || g <= 0 {
+		t.Errorf("flow_place_anneal_hpwl = %g (present %v)", g, ok)
+	}
+	chainSpans := 0
+	for _, sp := range ref.Trace {
+		if sp.Name == "flow.place.chain" {
+			chainSpans++
+		}
+	}
+	if chainSpans != 3 {
+		t.Errorf("flow.place.chain spans = %d, want 3 (one per chain)", chainSpans)
+	}
+}
+
 // TestFlowDefaultObserver: with no observer injected, runs are still
 // counted on the process-wide default (zero-plumbing telemetry).
 func TestFlowDefaultObserver(t *testing.T) {

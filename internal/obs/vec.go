@@ -12,8 +12,9 @@ import (
 // portal uses these for per-tool/per-shard series instead of the
 // name+":"+tool string-concat convention the flat registry forced.
 //
-// Hot-path contract: With on an existing child is one lock-free
-// sync.Map read (no allocation for single-label families), and the
+// Hot-path contract: With on an existing child is lock-free sync.Map
+// reads (no allocation for one- and two-label families — locked in by
+// TestWithAllocFree), and the
 // returned child is a plain *Counter/*Gauge/*Histogram — callers on
 // genuinely hot paths (the pool worker loop) resolve children once at
 // registration time and keep the handle, paying exactly the flat
@@ -43,7 +44,33 @@ func childKey(values []string) string {
 type vecCore struct {
 	name string
 	keys []string // in caller (With-positional) order
-	m    sync.Map // childKey -> child metric
+	m    sync.Map // childKey -> child metric (snapshot source of truth)
+	// idx2 is a read-side index for two-label families: first value ->
+	// *sync.Map(second value -> child). The flat m stays authoritative
+	// (snapshots and sortedChildKeys read only it); idx2 exists so a
+	// two-label With hit needs no strings.Join — it is repaired from m
+	// on every miss, so it can never disagree with it.
+	idx2 sync.Map
+}
+
+// load2 resolves a two-value combination through the nested index —
+// the allocation-free hit path.
+func (v *vecCore) load2(v1, v2 string) (any, bool) {
+	inner, ok := v.idx2.Load(v1)
+	if !ok {
+		return nil, false
+	}
+	return inner.(*sync.Map).Load(v2)
+}
+
+// store2 indexes the canonical child (the one the flat map's
+// LoadOrStore settled on) under its two values.
+func (v *vecCore) store2(v1, v2 string, child any) {
+	inner, ok := v.idx2.Load(v1)
+	if !ok {
+		inner, _ = v.idx2.LoadOrStore(v1, &sync.Map{})
+	}
+	inner.(*sync.Map).LoadOrStore(v2, child)
 }
 
 // checkArity panics when With is called with the wrong number of
@@ -95,6 +122,14 @@ func (v *CounterVec) With(values ...string) *Counter {
 		return nil
 	}
 	v.checkArity(values)
+	if len(values) == 2 {
+		if c, ok := v.load2(values[0], values[1]); ok {
+			return c.(*Counter)
+		}
+		c, _ := v.m.LoadOrStore(childKey(values), &Counter{})
+		v.store2(values[0], values[1], c)
+		return c.(*Counter)
+	}
 	k := childKey(values)
 	if c, ok := v.m.Load(k); ok {
 		return c.(*Counter)
@@ -113,6 +148,14 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 		return nil
 	}
 	v.checkArity(values)
+	if len(values) == 2 {
+		if g, ok := v.load2(values[0], values[1]); ok {
+			return g.(*Gauge)
+		}
+		g, _ := v.m.LoadOrStore(childKey(values), &Gauge{})
+		v.store2(values[0], values[1], g)
+		return g.(*Gauge)
+	}
 	k := childKey(values)
 	if g, ok := v.m.Load(k); ok {
 		return g.(*Gauge)
@@ -135,6 +178,14 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		return nil
 	}
 	v.checkArity(values)
+	if len(values) == 2 {
+		if h, ok := v.load2(values[0], values[1]); ok {
+			return h.(*Histogram)
+		}
+		h, _ := v.m.LoadOrStore(childKey(values), newHistogram(v.bounds))
+		v.store2(values[0], values[1], h)
+		return h.(*Histogram)
+	}
 	k := childKey(values)
 	if h, ok := v.m.Load(k); ok {
 		return h.(*Histogram)

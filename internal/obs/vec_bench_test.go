@@ -34,6 +34,38 @@ func BenchmarkCounterVecWithIncTwoLabels(b *testing.B) {
 	}
 }
 
+// TestWithAllocFree locks the hot-path contract as a hard test, not
+// just a benchmark number: resolving an existing child through With
+// must not allocate for one- and two-label families of any kind. A
+// regression here reappears in every pool-worker loop that doesn't
+// cache its child handle.
+func TestWithAllocFree(t *testing.T) {
+	r := NewRegistry()
+	cv1 := r.CounterVec("alloc_c1_total", "tool")
+	cv2 := r.CounterVec("alloc_c2_total", "tool", "reason")
+	gv2 := r.GaugeVec("alloc_g2", "tool", "reason")
+	hv2 := r.HistogramVec("alloc_h2_seconds", []string{"tool", "reason"})
+	// Create the children outside the measured region.
+	cv1.With("kbdd").Inc()
+	cv2.With("kbdd", "queue").Inc()
+	gv2.With("kbdd", "queue").Set(1)
+	hv2.With("kbdd", "queue").Observe(0.001)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CounterVec/1", func() { cv1.With("kbdd").Inc() }},
+		{"CounterVec/2", func() { cv2.With("kbdd", "queue").Inc() }},
+		{"GaugeVec/2", func() { gv2.With("kbdd", "queue").Set(2) }},
+		{"HistogramVec/2", func() { hv2.With("kbdd", "queue").Observe(0.002) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.fn); n != 0 {
+			t.Errorf("%s: %v allocs/op on the existing-child path, want 0", tc.name, n)
+		}
+	}
+}
+
 func BenchmarkHistogramVecWithObserve(b *testing.B) {
 	v := NewRegistry().HistogramVec("bench_seconds", []string{"tool"})
 	b.ReportAllocs()

@@ -1,0 +1,195 @@
+package place
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestAnnealWorkerIndependence is the determinism contract: at a fixed
+// seed and chain count, the full AnnealResult is byte-identical for
+// every worker count (run under -race in CI, so it also proves the
+// chains share no mutable state).
+func TestAnnealWorkerIndependence(t *testing.T) {
+	p := randomProblem(40, 80, 8, 8, 5)
+	base := AnnealOpts{Seed: 42, Chains: 4, MovesPerT: 300, MinTemp: 0.2}
+	ref, err := Anneal(p, withWorkers(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0), 0} {
+		got, err := Anneal(p, withWorkers(base, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d result differs from serial: HPWL %g vs %g, chain %d vs %d",
+				w, got.HPWL, ref.HPWL, got.Chain, ref.Chain)
+		}
+	}
+}
+
+func withWorkers(o AnnealOpts, w int) AnnealOpts {
+	o.Workers = w
+	return o
+}
+
+// TestAnnealSelfCheck runs the incremental-cost invariant at every
+// accepted move: the cached per-net boxes must track a full HPWL
+// recompute within float tolerance for the whole cooling schedule.
+func TestAnnealSelfCheck(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 13, 99} {
+		p := randomProblem(25, 50, 7, 7, seed)
+		if _, err := Anneal(p, AnnealOpts{Seed: seed, SelfCheck: true, MovesPerT: 400, MinTemp: 0.1}); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestAnnealSelfCheckNeutral: SelfCheck consumes no randomness, so it
+// cannot change the result it is checking.
+func TestAnnealSelfCheckNeutral(t *testing.T) {
+	p := randomProblem(20, 40, 6, 6, 7)
+	opts := AnnealOpts{Seed: 7, MovesPerT: 200, MinTemp: 0.3}
+	plain, err := Anneal(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SelfCheck = true
+	checked, err := Anneal(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, checked) {
+		t.Error("SelfCheck changed the annealing result")
+	}
+}
+
+// TestAnnealMoreChainsNoWorse: the merge takes the best chain, so
+// adding chains can only improve (or tie) the returned HPWL when the
+// first chain's stream is shared — chain 0 of both runs is identical.
+func TestAnnealMoreChainsNoWorse(t *testing.T) {
+	p := randomProblem(30, 60, 8, 8, 17)
+	one, err := Anneal(p, AnnealOpts{Seed: 17, Chains: 1, MovesPerT: 200, MinTemp: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Anneal(p, AnnealOpts{Seed: 17, Chains: 4, MovesPerT: 200, MinTemp: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.HPWL > one.HPWL {
+		t.Errorf("4 chains HPWL %g worse than 1 chain %g", four.HPWL, one.HPWL)
+	}
+	if four.Moves <= one.Moves {
+		t.Errorf("4 chains made %d moves, 1 chain %d — totals should sum over chains", four.Moves, one.Moves)
+	}
+}
+
+// TestAnnealInitialPlacement: refinement mode starts from a given
+// legal placement and must never return something worse than what its
+// own chains found (and stays legal).
+func TestAnnealInitialPlacement(t *testing.T) {
+	p := randomProblem(36, 70, 6, 6, 23)
+	q, err := Quadratic(p, QuadraticOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal, err := Legalize(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anneal(p, AnnealOpts{Seed: 23, Initial: legal, MovesPerT: 300, MinTemp: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, res.Placement); err != nil {
+		t.Fatalf("refined placement illegal: %v", err)
+	}
+	// The refinement itself can wander; the caller keeps the better of
+	// input/output. Sanity: it should at least be in the same ballpark.
+	if res.HPWL > 3*p.HPWL(legal)+10 {
+		t.Errorf("refinement exploded HPWL: %g -> %g", p.HPWL(legal), res.HPWL)
+	}
+
+	// Rejections: a placement that is not legal, the wrong size, or on
+	// a too-small grid.
+	if _, err := Anneal(p, AnnealOpts{Initial: NewPlacement(2)}); err == nil {
+		t.Error("wrong-size initial placement should fail")
+	}
+	bad := legal.Clone()
+	bad.X[0] = bad.X[1] // overlap
+	bad.Y[0] = bad.Y[1]
+	if _, err := Anneal(p, AnnealOpts{Initial: bad}); err == nil {
+		t.Error("illegal initial placement should fail")
+	}
+	tiny := &Problem{NCells: 9, W: 2, H: 2, Nets: []Net{{Cells: []int{0, 1}}}}
+	if _, err := Anneal(tiny, AnnealOpts{Initial: NewPlacement(9)}); err == nil {
+		t.Error("initial placement on an overfull grid should fail")
+	}
+}
+
+// TestAnnealRunToRunDeterministic: two identical invocations agree
+// byte for byte (the old map-iteration evaluation order could flip
+// accept decisions between runs).
+func TestAnnealRunToRunDeterministic(t *testing.T) {
+	p := randomProblem(30, 60, 8, 8, 31)
+	opts := AnnealOpts{Seed: 31, Chains: 2, MovesPerT: 250, MinTemp: 0.2}
+	a, err := Anneal(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical invocations disagree")
+	}
+}
+
+// TestAnnealOnChainStats: per-chain stats arrive in chain order and
+// sum to the result's totals.
+func TestAnnealOnChainStats(t *testing.T) {
+	p := randomProblem(20, 40, 6, 6, 3)
+	var stats []ChainStats
+	res, err := Anneal(p, AnnealOpts{
+		Seed: 3, Chains: 3, Workers: 2, MovesPerT: 150, MinTemp: 0.3,
+		OnChain: func(cs ChainStats) { stats = append(stats, cs) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("got %d chain stats, want 3", len(stats))
+	}
+	moves, accepted := 0, 0
+	for i, cs := range stats {
+		if cs.Chain != i {
+			t.Errorf("stats[%d].Chain = %d, want in-order delivery", i, cs.Chain)
+		}
+		moves += cs.Moves
+		accepted += cs.Accepted
+	}
+	if moves != res.Moves || accepted != res.Accepted {
+		t.Errorf("chain stats sum to %d/%d moves/accepted, result says %d/%d",
+			moves, accepted, res.Moves, res.Accepted)
+	}
+	if stats[res.Chain].HPWL != res.HPWL {
+		t.Errorf("winning chain %d HPWL %g != result %g", res.Chain, stats[res.Chain].HPWL, res.HPWL)
+	}
+}
+
+// TestAnnealRecomputeFallback: boundary pins must trigger the exact
+// rescan path — a run with moves accepted and no recomputes would mean
+// the fallback never fires (it must, whenever a boundary pin moves).
+func TestAnnealRecomputeFallback(t *testing.T) {
+	p := randomProblem(30, 60, 8, 8, 41)
+	res, err := Anneal(p, AnnealOpts{Seed: 41, MovesPerT: 300, MinTemp: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recomputes == 0 {
+		t.Error("no exact-rescan fallbacks on a dense instance — boundary detection is broken")
+	}
+}

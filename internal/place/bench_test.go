@@ -41,6 +41,23 @@ func BenchmarkAnnealPlace(b *testing.B) {
 	b.ReportMetric(hpwl, "hpwl")
 }
 
+// BenchmarkAnnealPlaceParallel: 4 chains spread over GOMAXPROCS
+// workers — same answer as Chains:4 Workers:1, ~4x the serial work in
+// roughly one chain's wall clock.
+func BenchmarkAnnealPlaceParallel(b *testing.B) {
+	p := benchProblem()
+	b.ReportAllocs()
+	var hpwl float64
+	for i := 0; i < b.N; i++ {
+		res, err := Anneal(p, AnnealOpts{Seed: 99, Chains: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hpwl = res.HPWL
+	}
+	b.ReportMetric(hpwl, "hpwl")
+}
+
 func BenchmarkMinCutPlace(b *testing.B) {
 	p := benchProblem()
 	b.ReportAllocs()

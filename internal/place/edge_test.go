@@ -1,0 +1,258 @@
+package place
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases for problem.go and legalize.go: nets with no movable
+// cells, degenerate single-row/column grids, all-fixed (pads-only)
+// problems, and empty instances — previously untested paths.
+
+// TestValidateZeroCellNet: a net of two pads and no cells is a valid
+// 2-pin net.
+func TestValidateZeroCellNet(t *testing.T) {
+	p := &Problem{
+		NCells: 1, W: 4, H: 4,
+		Pads: []Pad{{"a", 0, 0}, {"b", 4, 4}},
+		Nets: []Net{{Pads: []int{0, 1}}, {Cells: []int{0}, Pads: []int{0}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Problem{NCells: 1, W: 4, H: 4, Pads: []Pad{{"a", 0, 0}},
+		Nets: []Net{{Pads: []int{0, 3}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range pad index should fail")
+	}
+}
+
+// TestHPWLZeroCellNet: a pads-only net contributes its fixed pad box
+// regardless of the placement.
+func TestHPWLZeroCellNet(t *testing.T) {
+	p := &Problem{
+		NCells: 1, W: 10, H: 10,
+		Pads: []Pad{{"a", 1, 2}, {"b", 4, 7}},
+		Nets: []Net{{Pads: []int{0, 1}, Weight: 2}, {Cells: []int{0}, Pads: []int{0}}},
+	}
+	pl := NewPlacement(1)
+	pl.X[0], pl.Y[0] = 1, 2 // on top of pad a: second net contributes 0
+	// First net: 2 * ((4-1)+(7-2)) = 16.
+	if got := p.HPWL(pl); got != 16 {
+		t.Errorf("HPWL = %g, want 16", got)
+	}
+	pl.X[0], pl.Y[0] = 9, 9
+	if got := p.netHPWL(&p.Nets[0], pl); got != 16 {
+		t.Errorf("pads-only net moved with the placement: %g", got)
+	}
+}
+
+// TestHPWLEmptyProblem: no cells, no nets.
+func TestHPWLEmptyProblem(t *testing.T) {
+	p := &Problem{NCells: 0, W: 1, H: 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.HPWL(NewPlacement(0)); got != 0 {
+		t.Errorf("empty HPWL = %g", got)
+	}
+	if got := p.QuadraticWL(NewPlacement(0)); got != 0 {
+		t.Errorf("empty QuadraticWL = %g", got)
+	}
+}
+
+// TestLegalizeSingleRow: a 1-row grid packs cells left to right in x
+// order and stays legal.
+func TestLegalizeSingleRow(t *testing.T) {
+	p := &Problem{NCells: 5, W: 8, H: 1,
+		Pads: []Pad{{"a", 0, 0}, {"b", 8, 1}},
+		Nets: []Net{{Cells: []int{0, 4}}}}
+	pl := NewPlacement(5)
+	for i := 0; i < 5; i++ {
+		pl.X[i] = float64(5 - i) // reverse x order
+		pl.Y[i] = 0.3
+	}
+	out, err := Legalize(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < 5; i++ {
+		// Cell 4 had the smallest x, so order must be reversed.
+		if out.X[4-i] >= out.X[4-i-1] {
+			t.Errorf("row packing lost x order: %v", out.X)
+		}
+		if out.Y[i] != 0.5 {
+			t.Errorf("cell %d not in the single row: y=%g", i, out.Y[i])
+		}
+	}
+}
+
+// TestLegalizeSingleColumn: a 1-column grid stacks cells by y.
+func TestLegalizeSingleColumn(t *testing.T) {
+	p := &Problem{NCells: 4, W: 1, H: 6,
+		Pads: []Pad{{"a", 0, 0}, {"b", 1, 6}},
+		Nets: []Net{{Cells: []int{0, 3}}}}
+	pl := NewPlacement(4)
+	for i := 0; i < 4; i++ {
+		pl.X[i] = 0.2
+		pl.Y[i] = float64(i) + 0.1
+	}
+	out, err := Legalize(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if out.X[i] != 0.5 {
+			t.Errorf("cell %d off the single column: x=%g", i, out.X[i])
+		}
+	}
+}
+
+// TestLegalizeExactCapacity: NCells == W*H fills every slot with no
+// overlap.
+func TestLegalizeExactCapacity(t *testing.T) {
+	p := &Problem{NCells: 9, W: 3, H: 3,
+		Pads: []Pad{{"a", 0, 0}, {"b", 3, 3}},
+		Nets: []Net{{Cells: []int{0, 8}}}}
+	pl := NewPlacement(9)
+	for i := 0; i < 9; i++ {
+		pl.X[i] = float64(i%3) + 0.4
+		pl.Y[i] = float64(i/3) + 0.6
+	}
+	out, err := Legalize(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegalizeZeroCells: an empty placement legalizes to an empty
+// placement.
+func TestLegalizeZeroCells(t *testing.T) {
+	p := &Problem{NCells: 0, W: 2, H: 2}
+	out, err := Legalize(p, NewPlacement(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllFixedProblem: every net is pads-only (the all-fixed analog in
+// this model — nothing movable matters). HPWL is placement-invariant
+// and both legalization and annealing handle it.
+func TestAllFixedProblem(t *testing.T) {
+	p := &Problem{
+		NCells: 3, W: 4, H: 4,
+		Pads: []Pad{{"a", 0, 0}, {"b", 4, 0}, {"c", 0, 4}},
+		Nets: []Net{{Pads: []int{0, 1}}, {Pads: []int{1, 2}}, {Pads: []int{0, 1, 2}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := p.HPWL(NewPlacement(3))
+	r := Random(p, 9)
+	if got := p.HPWL(r); got != want {
+		t.Errorf("all-fixed HPWL moved with the placement: %g vs %g", got, want)
+	}
+	leg, err := Legalize(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, leg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anneal(p, AnnealOpts{Seed: 9, MovesPerT: 50, MinTemp: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL != want {
+		t.Errorf("anneal on all-fixed nets changed HPWL: %g vs %g", res.HPWL, want)
+	}
+	if err := CheckLegal(p, res.Placement); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnnealZeroCells: a problem with no movable cells returns an
+// empty placement instead of panicking on Intn(0).
+func TestAnnealZeroCells(t *testing.T) {
+	p := &Problem{NCells: 0, W: 2, H: 2,
+		Pads: []Pad{{"a", 0, 0}, {"b", 2, 2}},
+		Nets: []Net{{Pads: []int{0, 1}}}}
+	res, err := Anneal(p, AnnealOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placement.X) != 0 {
+		t.Errorf("placement has %d cells", len(res.Placement.X))
+	}
+	if res.HPWL != 4 {
+		t.Errorf("HPWL = %g, want the pad net's 4", res.HPWL)
+	}
+}
+
+// TestAnnealSingleRowGrid: annealing on a 1-row grid stays legal and
+// in bounds.
+func TestAnnealSingleRowGrid(t *testing.T) {
+	p := &Problem{NCells: 4, W: 8, H: 1,
+		Pads: []Pad{{"l", 0, 0.5}, {"r", 8, 0.5}},
+		Nets: []Net{
+			{Cells: []int{0}, Pads: []int{0}},
+			{Cells: []int{0, 1}}, {Cells: []int{1, 2}}, {Cells: []int{2, 3}},
+			{Cells: []int{3}, Pads: []int{1}},
+		}}
+	res, err := Anneal(p, AnnealOpts{Seed: 2, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(p, res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	r := Random(p, 2)
+	if res.HPWL > p.HPWL(r) {
+		t.Errorf("anneal %g worse than random %g on the chain", res.HPWL, p.HPWL(r))
+	}
+}
+
+// TestAnnealGridGrowth: when W*H cannot hold the cells the annealer
+// falls back to a square grid (the placement is then outside the
+// declared region, matching historical behavior).
+func TestAnnealGridGrowth(t *testing.T) {
+	p := &Problem{NCells: 9, W: 2, H: 2,
+		Pads: []Pad{{"a", 0, 0}, {"b", 2, 2}},
+		Nets: []Net{{Cells: []int{0, 8}}}}
+	res, err := Anneal(p, AnnealOpts{Seed: 3, MovesPerT: 50, MinTemp: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for c := 0; c < 9; c++ {
+		x, y := res.Placement.X[c], res.Placement.Y[c]
+		if x < 0 || y < 0 || x > 3 || y > 3 {
+			t.Errorf("cell %d at (%g,%g) outside the grown 3x3 grid", c, x, y)
+		}
+		key := [2]int{int(math.Floor(x)), int(math.Floor(y))}
+		if seen[key] {
+			t.Errorf("cells overlap at %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestCheckLegalEmpty: the legality checker accepts an empty problem.
+func TestCheckLegalEmpty(t *testing.T) {
+	p := &Problem{NCells: 0, W: 1, H: 1}
+	if err := CheckLegal(p, NewPlacement(0)); err != nil {
+		t.Fatal(err)
+	}
+}

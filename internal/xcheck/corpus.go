@@ -30,6 +30,7 @@ func DefaultSpec() []DomainSpec {
 		{"proute", 12, func(s uint64) Instance { return GenPRoute(s) }},
 		{"spd", 16, func(s uint64) Instance { return GenSPD(s) }},
 		{"place", 12, func(s uint64) Instance { return GenPlace(s) }},
+		{"panneal", 12, func(s uint64) Instance { return GenPAnneal(s) }},
 		{"net", 16, func(s uint64) Instance { return GenNet(s) }},
 	}
 }

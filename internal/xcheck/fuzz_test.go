@@ -59,6 +59,26 @@ func FuzzRoute(f *testing.F) {
 // contended paths into both the fuzz seed corpus and TestPRouteConflictHeavySeeds.
 var conflictHeavySeeds = []uint64{598, 462, 1493, 1239, 1661, 767, 1532, 1942}
 
+// pannealHotSeeds are GenPAnneal seeds whose instances churn the
+// incremental evaluator hardest (found by sweeping seeds 0..2999 and
+// ranking by accepted moves + boundary-fallback recomputes). They pin
+// the cache-update and exact-rescan paths into both the fuzz seed
+// corpus and TestPAnnealHotSeeds.
+var pannealHotSeeds = []uint64{1209, 349, 2662, 1226, 787, 609, 2362, 2250}
+
+func FuzzPAnneal(f *testing.F) {
+	seedCorpus(f, "panneal")
+	for _, seed := range pannealHotSeeds {
+		f.Add(seed)
+	}
+	c := &Checker{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		for _, m := range c.CheckPAnneal(GenPAnneal(seed)) {
+			t.Errorf("%v", m)
+		}
+	})
+}
+
 func FuzzPRoute(f *testing.F) {
 	seedCorpus(f, "proute")
 	// Conflict-heavy instances (many wave collisions and requeues under

@@ -1,0 +1,199 @@
+package xcheck
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+
+	"vlsicad/internal/place"
+)
+
+// PAnnealInstance is a parallel-annealing test case: a placement
+// problem whose grid holds every cell, plus the full annealing
+// configuration (chain count included). Its oracles are the engine's
+// own invariants: incremental cost must track a full HPWL recompute at
+// every accepted move (SelfCheck), the parallel chain scheduler must
+// be byte-identical to serial execution for every worker count, and
+// the returned placement must be legal.
+type PAnnealInstance struct {
+	Seed    uint64
+	Problem *place.Problem
+
+	AnnealSeed int64
+	MovesPerT  int
+	Cooling    float64
+	MinTemp    float64
+	Chains     int
+}
+
+// Domain implements Instance.
+func (pi *PAnnealInstance) Domain() string { return "panneal" }
+
+// InstanceSeed implements Instance.
+func (pi *PAnnealInstance) InstanceSeed() uint64 { return pi.Seed }
+
+// Dump implements Instance.
+func (pi *PAnnealInstance) Dump() string {
+	p := pi.Problem
+	var b strings.Builder
+	fmt.Fprintf(&b, "xcheck panneal v1\nseed %d\ncells %d\nregion %s %s\n",
+		pi.Seed, p.NCells, ftoa(p.W), ftoa(p.H))
+	fmt.Fprintf(&b, "annealseed %d\nmovespert %d\ncooling %s\nmintemp %s\nchains %d\n",
+		pi.AnnealSeed, pi.MovesPerT, ftoa(pi.Cooling), ftoa(pi.MinTemp), pi.Chains)
+	fmt.Fprintf(&b, "pads %d\n", len(p.Pads))
+	for _, pd := range p.Pads {
+		fmt.Fprintf(&b, "%s %s %s\n", pd.Name, ftoa(pd.X), ftoa(pd.Y))
+	}
+	fmt.Fprintf(&b, "nets %d\n", len(p.Nets))
+	for _, n := range p.Nets {
+		fmt.Fprintf(&b, "w=%s cells=%v pads=%v\n", ftoa(n.Weight), n.Cells, n.Pads)
+	}
+	return b.String()
+}
+
+// GenPAnneal generates a parallel-annealing instance: an integer grid
+// of 2..7 columns and 1..6 rows (single-row grids included on
+// purpose), enough slots for its 2..20 cells, 1..4 pads, and 2..10
+// nets mixing cell and pad pins — including occasional pads-only
+// (zero-cell) nets and duplicated cell pins, the incremental
+// evaluator's awkward cases. The annealing schedule is kept short so a
+// corpus sweep stays inside the test budget.
+func GenPAnneal(seed uint64) *PAnnealInstance {
+	rng := NewRNG(seed)
+	cols := rng.Range(2, 7)
+	rows := rng.Range(1, 6)
+	maxCells := cols * rows
+	if maxCells > 20 {
+		maxCells = 20
+	}
+	nc := rng.Range(2, maxCells)
+	if nc > cols*rows {
+		nc = cols * rows
+	}
+	np := rng.Range(1, 4)
+	p := &place.Problem{NCells: nc, W: float64(cols), H: float64(rows)}
+	for i := 0; i < np; i++ {
+		p.Pads = append(p.Pads, place.Pad{
+			Name: fmt.Sprintf("p%d", i),
+			X:    float64(rng.Range(0, cols*8)) / 8,
+			Y:    float64(rng.Range(0, rows*8)) / 8,
+		})
+	}
+	nn := rng.Range(2, 10)
+	for i := 0; i < nn; i++ {
+		var net place.Net
+		if np >= 2 && rng.Intn(8) == 0 {
+			// Zero-cell net: pads only, constant HPWL contribution.
+			net.Pads = []int{rng.Intn(np), rng.Intn(np)}
+		} else {
+			pins := rng.Range(2, 4)
+			for j := 0; j < pins; j++ {
+				if rng.Intn(4) == 0 {
+					net.Pads = append(net.Pads, rng.Intn(np))
+				} else {
+					net.Cells = append(net.Cells, rng.Intn(nc))
+				}
+			}
+			if rng.Intn(6) == 0 && len(net.Cells) > 0 {
+				// Duplicate a cell pin: the same cell twice in one net.
+				net.Cells = append(net.Cells, net.Cells[0])
+			}
+		}
+		if len(net.Cells)+len(net.Pads) < 2 {
+			continue
+		}
+		net.Weight = float64(rng.Intn(3)) // 0 exercises the default weight
+		p.Nets = append(p.Nets, net)
+	}
+	if len(p.Nets) == 0 {
+		p.Nets = append(p.Nets, place.Net{Cells: []int{0, 1 % nc}, Pads: []int{0}})
+	}
+	return &PAnnealInstance{
+		Seed:       seed,
+		Problem:    p,
+		AnnealSeed: int64(rng.Intn(1 << 16)),
+		MovesPerT:  rng.Range(40, 120),
+		Cooling:    0.85,
+		MinTemp:    float64(rng.Range(2, 6)) / 10, // 0.2 .. 0.5
+		Chains:     rng.Range(2, 3),
+	}
+}
+
+// opts builds the instance's base annealing options.
+func (pi *PAnnealInstance) opts() place.AnnealOpts {
+	return place.AnnealOpts{
+		Seed:      pi.AnnealSeed,
+		MovesPerT: pi.MovesPerT,
+		Cooling:   pi.Cooling,
+		MinTemp:   pi.MinTemp,
+		Chains:    pi.Chains,
+	}
+}
+
+// CheckPAnneal cross-validates the annealing engine on one instance:
+//
+//	SelfCheck run                 —   incremental cost == full HPWL
+//	                                  recompute at every accepted move
+//	Workers=1                     vs  Workers=2..4  (byte identity of
+//	                                  the whole AnnealResult)
+//	result placement              vs  place.CheckLegal (in bounds, on
+//	                                  slot centers, no overlap)
+//	result HPWL                   vs  independent p.HPWL recompute
+func (c *Checker) CheckPAnneal(pi *PAnnealInstance) []Mismatch {
+	var out []Mismatch
+	bad := func(format string, args ...interface{}) {
+		out = append(out, Mismatch{Domain: "panneal", Seed: pi.Seed,
+			Detail: fmt.Sprintf(format, args...), Dump: pi.Dump()})
+	}
+	p := pi.Problem
+	if err := p.Validate(); err != nil {
+		bad("generated problem fails Validate: %v", err)
+		c.note("panneal", pi.Seed, out)
+		return out
+	}
+
+	// Serial reference with the incremental-cost invariant armed:
+	// SelfCheck fails the run if the cached per-net boxes ever drift
+	// from a full recompute.
+	opts := pi.opts()
+	opts.Workers = 1
+	opts.SelfCheck = true
+	serial, err := place.Anneal(p, opts)
+	if err != nil {
+		bad("serial anneal (self-checked): %v", err)
+		c.note("panneal", pi.Seed, out)
+		return out
+	}
+
+	if err := place.CheckLegal(p, serial.Placement); err != nil {
+		bad("annealed placement is illegal: %v", err)
+	}
+	if got := p.HPWL(serial.Placement); math.Abs(got-serial.HPWL) > 1e-9*(1+math.Abs(got)) {
+		bad("reported HPWL %g != independent recompute %g", serial.HPWL, got)
+	}
+	if serial.Moves == 0 {
+		bad("no moves recorded over a full cooling schedule")
+	}
+
+	// Parallel byte-identity: the chain count is fixed by the instance,
+	// so every worker count must reproduce the serial result exactly
+	// (SelfCheck consumes no randomness — verified by the place tests —
+	// so dropping it here cannot change the stream).
+	for _, w := range []int{2, 3, 4} {
+		popts := pi.opts()
+		popts.Workers = w
+		par, err := place.Anneal(p, popts)
+		if err != nil {
+			bad("workers=%d: %v", w, err)
+			continue
+		}
+		if !reflect.DeepEqual(serial, par) {
+			bad("workers=%d: result differs from serial (HPWL %g vs %g, chain %d vs %d, accepted %d vs %d)",
+				w, par.HPWL, serial.HPWL, par.Chain, serial.Chain, par.Accepted, serial.Accepted)
+		}
+	}
+
+	c.note("panneal", pi.Seed, out)
+	return out
+}

@@ -1,0 +1,67 @@
+package xcheck
+
+import (
+	"strings"
+	"testing"
+
+	"vlsicad/internal/place"
+)
+
+// TestPAnnealHotSeeds replays the swept high-churn instances through
+// the full oracle on every `go test` run (the fuzz targets only cover
+// them in fuzzing mode), so the incremental evaluator's most-stressed
+// paths stay pinned.
+func TestPAnnealHotSeeds(t *testing.T) {
+	c := &Checker{}
+	for _, seed := range pannealHotSeeds {
+		pi := GenPAnneal(seed)
+		for _, m := range c.CheckPAnneal(pi) {
+			t.Errorf("hot seed %d: %v", seed, m)
+		}
+		// Hot means hot: the instance must actually exercise both the
+		// incremental accept path and the boundary-rescan fallback.
+		opts := pi.opts()
+		opts.Workers = 1
+		res, err := place.Anneal(pi.Problem, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Accepted == 0 || res.Recomputes == 0 {
+			t.Errorf("seed %d is not hot: accepted=%d recomputes=%d", seed, res.Accepted, res.Recomputes)
+		}
+	}
+}
+
+// TestGenPAnnealDeterministic: the generator is a pure function of the
+// seed — byte-identical dumps, the corpus prerequisite.
+func TestGenPAnnealDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 1209} {
+		a, b := GenPAnneal(seed), GenPAnneal(seed)
+		if a.Dump() != b.Dump() {
+			t.Errorf("seed %d regenerates differently", seed)
+		}
+		if !strings.HasPrefix(a.Dump(), "xcheck panneal v1\n") {
+			t.Errorf("seed %d: bad dump header", seed)
+		}
+	}
+}
+
+// TestGenPAnnealCapacity: every generated grid holds all its cells —
+// the precondition for the legality oracle (a too-small grid would
+// make the annealer grow past the region and CheckLegal vacuously
+// fail).
+func TestGenPAnnealCapacity(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		pi := GenPAnneal(seed)
+		p := pi.Problem
+		if int(p.W)*int(p.H) < p.NCells {
+			t.Fatalf("seed %d: %d slots for %d cells", seed, int(p.W)*int(p.H), p.NCells)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if pi.Chains < 2 {
+			t.Fatalf("seed %d: %d chains — parallel identity needs at least 2", seed, pi.Chains)
+		}
+	}
+}

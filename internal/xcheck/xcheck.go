@@ -15,7 +15,7 @@
 //     `go test ./internal/xcheck -run Corpus` (byte-identical
 //     regeneration plus a zero-mismatch sweep),
 //   - the Go native fuzz targets (FuzzCoverMinimize, FuzzSATvsBDD,
-//     FuzzRoute) seeded from the corpus, and
+//     FuzzRoute, FuzzPRoute, FuzzPAnneal) seeded from the corpus, and
 //   - regression sentinels for future performance work: any engine
 //     rewrite must keep the corpus sweep clean.
 package xcheck
@@ -30,7 +30,7 @@ import (
 // reproduce: regenerate the instance from Seed and rerun the named
 // oracle, or paste Dump into the matching parser.
 type Mismatch struct {
-	Domain string // "cover", "cnf", "route", "proute", "place", "spd", "net"
+	Domain string // "cover", "cnf", "route", "proute", "place", "panneal", "spd", "net"
 	Seed   uint64 // instance seed (regenerate with Gen<Domain>(seed))
 	Detail string // which engines disagreed and how
 	Dump   string // deterministic instance dump
@@ -84,6 +84,8 @@ func (c *Checker) Check(inst Instance) []Mismatch {
 		return c.CheckSPD(v)
 	case *PlaceInstance:
 		return c.CheckPlace(v)
+	case *PAnnealInstance:
+		return c.CheckPAnneal(v)
 	case *NetInstance:
 		return c.CheckNet(v)
 	default:
