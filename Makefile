@@ -25,7 +25,7 @@ bench:
 # real benchtime and parse them into BENCH_FILE (see EXPERIMENTS.md
 # for the format). Compare against the committed BENCH_PR*.json files
 # to see drift across PRs.
-BENCH_FILE ?= BENCH_PR7.json
+BENCH_FILE ?= BENCH_PR8.json
 BENCH_PKGS ?= ./internal/obs ./internal/portal ./internal/route ./internal/mooc ./internal/place
 BENCH_TIME ?= 0.5s
 bench-record:
@@ -62,10 +62,11 @@ fuzz:
 corpus:
 	$(GO) run ./cmd/xcheckgen -out testdata/xcheck
 
-# Long seeded chaos sweep over the portal job pool (outside the
-# default `make check` budget). Override the seed count with
-# CHAOS_SEEDS=n.
+# Long seeded chaos sweeps over the portal job pool (outside the
+# default `make check` budget): the mixed-fault storm plus the
+# hot-user fairness storm against the async ticket lifecycle.
+# Override the seed count with CHAOS_SEEDS=n.
 CHAOS_SEEDS ?= 20
 chaos:
 	PORTAL_CHAOS=1 PORTAL_CHAOS_SEEDS=$(CHAOS_SEEDS) \
-		$(GO) test -race ./internal/portal -run TestChaosSweep -count=1 -v -timeout 20m
+		$(GO) test -race ./internal/portal -run 'TestChaosSweep|TestChaosHotUserStormSweep' -count=1 -v -timeout 20m

@@ -36,6 +36,30 @@ func TestMoocsimPortalDrill(t *testing.T) {
 	}
 }
 
+func TestMoocsimFairnessDrill(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-fig", "fairness", "-seed", "5"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"portal fairness drill",
+		"per-class outcomes:",
+		"hot (flooder)",
+		"hot completion share:",
+		"pool_tickets_total",
+		"pool_quota_sheds_total{user_class=\"flooder\"}",
+		"pool_deadline_expiries_total{where=\"queued\"}",
+		"pool_queue_wait_seconds count",
+		"ticket ledger: balanced",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fairness report missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestMoocsimBadFlag(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-bogus"}, strings.NewReader(""), &out, &errb); code != 2 {

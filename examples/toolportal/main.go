@@ -2,9 +2,10 @@
 // miniature: a participant submits text jobs to the five deployed EDA
 // tools through the resilient job pool (sharded workers, bounded
 // queue, retry with backoff, per-tool circuit breakers), a flaky tool
-// shows retries absorbing transient faults, the auto-grader scores a
-// Project 4 submission, and the per-user result history scrolls
-// newest-first. Every job feeds the portal's telemetry, printed as a
+// shows retries absorbing transient faults, the async ticket
+// lifecycle runs submit-and-come-back-later (Wait, deadline expiry,
+// cancellation), the auto-grader scores a Project 4 submission, and
+// the per-user result history scrolls newest-first. Every job feeds the portal's telemetry, printed as a
 // report at the end — the operational view the paper's cloud
 // deployment ran on.
 package main
@@ -88,6 +89,57 @@ func main() {
 	fmt.Printf("flaky tool: output %q after %d attempts (2 transient faults retried)\n\n",
 		res.Output, res.Attempts)
 
+	// The async ticket lifecycle: SubmitAsync returns immediately with
+	// a pollable/waitable ticket, a hopeless deadline expires a job
+	// wherever it is, and a queued ticket can be cancelled — the
+	// browser-side "submit, keep browsing, come back for the result"
+	// flow of the paper's portal.
+	fmt.Println("async ticket lifecycle:")
+	tk, err := p.SubmitAsync(user, "echo", "async demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  submitted ticket: tool=%s state=%s\n", tk.Tool(), tk.State())
+	res, err = tk.Wait(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  waited: state=%s output=%q\n", tk.State(), res.Output)
+	// Pin the user's lane (UserConcurrency defaults to 1) so the next
+	// two tickets provably sit in the queue for their demos.
+	release := make(chan struct{})
+	if err := p.Register(blocker{release}); err != nil {
+		log.Fatal(err)
+	}
+	gate, err := p.SubmitAsync(user, "gate", "pin the lane")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for gate.State() != portal.TicketRunning {
+		time.Sleep(100 * time.Microsecond)
+	}
+	doomed, err := p.SubmitAsyncOpts(user, "echo", "too late",
+		portal.TicketOpts{Deadline: time.Microsecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, werr := doomed.Wait(nil); werr != nil {
+		fmt.Printf("  1us-deadline ticket: %v\n", werr)
+	}
+	regret, err := p.SubmitAsync(user, "echo", "never mind")
+	if err != nil {
+		log.Fatal(err)
+	}
+	regret.Cancel()
+	if _, werr := regret.Wait(nil); werr != nil {
+		fmt.Printf("  cancelled ticket:    %v\n", werr)
+	}
+	close(release)
+	if _, err := gate.Wait(nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
 	fmt.Println("auto-grading a Project 4 submission (reference router output):")
 	g := route.NewGrid(8, 8, route.DefaultCost())
 	nets := []route.Net{
@@ -119,6 +171,21 @@ func main() {
 	if *hold > 0 {
 		fmt.Printf("holding for %v (scrape away)\n", *hold)
 		time.Sleep(*hold)
+	}
+}
+
+// blocker holds its worker until released (or cancelled) — used to
+// keep the demo's queued-ticket scenarios deterministic.
+type blocker struct{ release chan struct{} }
+
+func (b blocker) Name() string     { return "gate" }
+func (b blocker) Describe() string { return "blocks until released" }
+func (b blocker) Run(input string, cancel <-chan struct{}) (string, error) {
+	select {
+	case <-b.release:
+		return "released", nil
+	case <-cancel:
+		return "", nil
 	}
 }
 

@@ -47,7 +47,13 @@ const (
 	// Garbage runs the tool but corrupts its output (no error) — the
 	// silent-wrong-answer case graders must tolerate.
 	Garbage
-	numClasses = int(Garbage) + 1
+	// Stall blocks past any deadline but, unlike Hang, cooperates with
+	// cancellation: it returns an error as soon as cancel closes. It
+	// models a job that overruns its ticket deadline yet stops cleanly
+	// when interrupted — the pool's deadline machinery must terminate
+	// it without having to abandon its goroutine.
+	Stall
+	numClasses = int(Stall) + 1
 )
 
 func (c Class) String() string {
@@ -64,15 +70,19 @@ func (c Class) String() string {
 		return "slow"
 	case Garbage:
 		return "garbage"
+	case Stall:
+		return "stall"
 	}
 	return "unknown"
 }
 
 // Config sets the per-call probability of each fault class; the
 // remainder is None. Probabilities that sum past 1 are taken in the
-// order Panic, Hang, Transient, Slow, Garbage.
+// order Panic, Hang, Transient, Slow, Garbage, Stall. (Stall sits
+// last so configurations that leave it zero draw the identical plan
+// they did before the class existed — pinned fault plans stay valid.)
 type Config struct {
-	Panic, Hang, Transient, Slow, Garbage float64
+	Panic, Hang, Transient, Slow, Garbage, Stall float64
 	// SlowDelay is the injected latency for Slow calls (default 1ms).
 	SlowDelay time.Duration
 }
@@ -183,6 +193,7 @@ func (in *Injector) ClassAt(n uint64) Class {
 		{in.cfg.Transient, Transient},
 		{in.cfg.Slow, Slow},
 		{in.cfg.Garbage, Garbage},
+		{in.cfg.Stall, Stall},
 	} {
 		if u < th.p {
 			return th.c
@@ -225,6 +236,15 @@ func (in *Injector) Run(input string, cancel <-chan struct{}) (string, error) {
 	case Garbage:
 		out, _ := in.tool.Run(input, cancel)
 		return garble(out, in.seed, n), nil
+	case Stall:
+		// Stall-past-deadline: block indefinitely but yield promptly to
+		// cancellation (or ReleaseHung), unlike Hang.
+		select {
+		case <-cancel:
+			return "", fmt.Errorf("fault: stalled call %d cancelled", n)
+		case <-in.release:
+			return "", fmt.Errorf("fault: stalled call %d released", n)
+		}
 	default:
 		return in.tool.Run(input, cancel)
 	}

@@ -172,6 +172,48 @@ func TestInjectedBehaviors(t *testing.T) {
 		}
 	})
 
+	t.Run("stall", func(t *testing.T) {
+		// A Stall blocks while cancel stays open…
+		in := Script(echo{}, Stall)
+		done := make(chan error, 1)
+		openCancel := make(chan struct{})
+		go func() {
+			_, err := in.Run("x", openCancel)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			t.Fatalf("stall returned early: %v", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+		// …but unlike Hang it yields as soon as cancel closes.
+		close(openCancel)
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "stalled call") {
+				t.Fatalf("cancelled stall err = %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancel did not unblock the stall")
+		}
+		// ReleaseHung also frees stalls, so leak checks can sweep both.
+		in2 := Script(echo{}, Stall)
+		done2 := make(chan error, 1)
+		go func() {
+			_, err := in2.Run("x", make(chan struct{}))
+			done2 <- err
+		}()
+		in2.ReleaseHung()
+		select {
+		case err := <-done2:
+			if err == nil || !strings.Contains(err.Error(), "released") {
+				t.Fatalf("released stall err = %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ReleaseHung did not unblock the stall")
+		}
+	})
+
 	t.Run("none", func(t *testing.T) {
 		in := Script(echo{}, None)
 		out, err := in.Run("clean", cancel)

@@ -62,6 +62,51 @@ func BenchmarkPoolSubmit(b *testing.B) {
 	})
 }
 
+// BenchmarkPoolSubmitAsync measures the pipelined ticket flow: each
+// user keeps a window of async submissions in flight and only blocks
+// to collect results when the window fills — the async-vs-blocking
+// comparison recorded in EXPERIMENTS.md. The queue is sized to hold
+// every window so backpressure never sheds in-bench.
+func BenchmarkPoolSubmitAsync(b *testing.B) {
+	const window = 8
+	users := benchUsers()
+	p := NewPool(PoolConfig{
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueDepth: users * window,
+	})
+	defer p.Close()
+	p.SetObserver(obs.NewObserver(nil))
+	if err := p.Register(echoTool()); err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		user := fmt.Sprintf("user%d", next.Add(1)%int64(users))
+		inflight := make([]*Ticket, 0, window)
+		for pb.Next() {
+			tk, err := p.SubmitAsync(user, "echo", "ping")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			inflight = append(inflight, tk)
+			if len(inflight) == window {
+				for _, t := range inflight {
+					if _, err := t.Wait(nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				inflight = inflight[:0]
+			}
+		}
+		for _, t := range inflight {
+			_, _ = t.Wait(nil)
+		}
+	})
+}
+
 // The mixed portal workload: every submission is followed by two
 // history-page reads (the paper's "scroll for older outputs" page,
 // paged via HistoryN so read cost stays O(page), not O(lifetime)).

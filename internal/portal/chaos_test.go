@@ -7,6 +7,7 @@
 package portal_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -278,6 +279,193 @@ func TestChaosBreakerRecovery(t *testing.T) {
 	m := ob.Snapshot().Metrics
 	if m.Counters["pool_jobs_shed_breaker"] != 2 {
 		t.Fatalf("breaker sheds = %d, want 2", m.Counters["pool_jobs_shed_breaker"])
+	}
+}
+
+// runHotUserStorm is the fairness storm: one hot user fires 10× the
+// submissions of each of nine normal users, through a fault-injected
+// tool, against a pool with per-user quotas and fair queueing. It
+// asserts the tentpole's acceptance criteria: zero lost or duplicated
+// tickets (every admitted ticket terminal by Close, lifecycle
+// counters balanced), per-user history in admission order, and the
+// hot user's completed share within the configured fairness bound.
+func runHotUserStorm(t *testing.T, seed uint64) {
+	t.Helper()
+	const (
+		normalUsers   = 9
+		normalJobs    = 20
+		hotJobs       = 10 * normalJobs
+		hotBurst      = 30  // quota lets the hot user complete at most this
+		fairnessBound = 0.2 // hot user may own at most this share of completions
+	)
+	inj := fault.Wrap(echoTool{}, seed, fault.Config{
+		Panic: 0.05, Hang: 0.02, Transient: 0.08, Slow: 0.05,
+		Garbage: 0.05, Stall: 0.03, SlowDelay: 200 * time.Microsecond})
+	p := portal.NewPool(portal.PoolConfig{
+		Workers:    8,
+		QueueDepth: 64,
+		Timeout:    20 * time.Millisecond,
+		Retry:      portal.RetryPolicy{MaxAttempts: 2, BaseDelay: 100 * time.Microsecond, JitterFrac: 0.5},
+		// High threshold: the storm measures fairness, not breaker
+		// shedding, so the breaker must not mask the quota machinery.
+		Breaker:    portal.BreakerConfig{FailureThreshold: 500, Cooldown: 50 * time.Millisecond},
+		Seed:       seed,
+		QuotaRate:  0.001, // effectively burst-only during the storm
+		QuotaBurst: hotBurst,
+		FairShare:  0.25,
+	})
+	ob := obs.NewObserver(nil)
+	p.SetObserver(ob)
+	if err := p.Register(inj); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nine normal users submit blocking, well under their quota burst.
+	accepted := make([][]string, normalUsers)
+	var wg sync.WaitGroup
+	for u := 0; u < normalUsers; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user%03d", u)
+			for i := 0; i < normalJobs; i++ {
+				input := fmt.Sprintf("%s/job%04d", user, i)
+				_, err := p.Submit(user, "echo", input)
+				switch {
+				case err == nil:
+					accepted[u] = append(accepted[u], input)
+				case errors.Is(err, portal.ErrQueueFull),
+					errors.Is(err, portal.ErrCircuitOpen),
+					errors.Is(err, portal.ErrQuotaExceeded):
+					// shed: legal, accounted
+				default:
+					t.Errorf("%s: unexpected submit error: %v", user, err)
+					return
+				}
+			}
+		}(u)
+	}
+	// The hot user floods asynchronously — no waiting between jobs.
+	hotAdmitted := []*portal.Ticket{}
+	hotInputs := []string{}
+	hotShed := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < hotJobs; i++ {
+			input := fmt.Sprintf("hot/job%04d", i)
+			tk, err := p.SubmitAsync("hot", "echo", input)
+			switch {
+			case err == nil:
+				hotAdmitted = append(hotAdmitted, tk)
+				hotInputs = append(hotInputs, input)
+			case errors.Is(err, portal.ErrQueueFull),
+				errors.Is(err, portal.ErrCircuitOpen),
+				errors.Is(err, portal.ErrQuotaExceeded):
+				hotShed++
+			default:
+				t.Errorf("hot: unexpected submit error: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if len(hotAdmitted)+hotShed != hotJobs {
+		t.Fatalf("hot tickets lost at admission: %d + %d != %d",
+			len(hotAdmitted), hotShed, hotJobs)
+	}
+	// Quota held: the flood got at most its burst in.
+	if len(hotAdmitted) > hotBurst+2 {
+		t.Fatalf("hot user admitted %d > burst %d — quota did not bite",
+			len(hotAdmitted), hotBurst)
+	}
+
+	// Every admitted hot ticket is terminal (or becomes so) — none
+	// lost, none stuck. Blocking submitters already proved theirs.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, tk := range hotAdmitted {
+		if _, err := tk.Wait(ctx); err != nil {
+			t.Fatalf("hot ticket %d never terminated: %v", i, err)
+		}
+	}
+	inj.ReleaseHung()
+	p.Close()
+
+	// No duplicated or reordered work: each user's history is exactly
+	// their accepted inputs, in admission order.
+	check := func(user string, want []string) {
+		h := p.History(user) // newest first
+		if len(h) != len(want) {
+			t.Fatalf("%s: history %d entries, accepted %d (lost/dup tickets)",
+				user, len(h), len(want))
+		}
+		for i, r := range h {
+			if exp := want[len(want)-1-i]; r.Input != exp {
+				t.Fatalf("%s: history[%d] = %q, want %q", user, i, r.Input, exp)
+			}
+		}
+	}
+	for u := 0; u < normalUsers; u++ {
+		check(fmt.Sprintf("user%03d", u), accepted[u])
+	}
+	check("hot", hotInputs)
+
+	// Fairness bound: the hot user completed at most the configured
+	// share of all completed jobs.
+	total := len(hotInputs)
+	for u := 0; u < normalUsers; u++ {
+		total += len(accepted[u])
+	}
+	if share := float64(len(hotInputs)) / float64(total); share > fairnessBound {
+		t.Fatalf("hot user completed %d/%d = %.3f of jobs, bound %.2f",
+			len(hotInputs), total, share, fairnessBound)
+	}
+
+	// Lifecycle accounting balances: every admitted ticket reached
+	// exactly one terminal state.
+	m := ob.Snapshot().Metrics
+	admitted, _ := m.CounterSeries("pool_tickets_total", map[string]string{"state": "admitted"})
+	completed, _ := m.CounterSeries("pool_tickets_total", map[string]string{"state": "completed"})
+	expired, _ := m.CounterSeries("pool_tickets_total", map[string]string{"state": "expired"})
+	cancelled, _ := m.CounterSeries("pool_tickets_total", map[string]string{"state": "cancelled"})
+	if admitted != completed+expired+cancelled {
+		t.Fatalf("ticket ledger unbalanced: admitted %d != completed %d + expired %d + cancelled %d",
+			admitted, completed, expired, cancelled)
+	}
+	if admitted != int64(total) {
+		t.Fatalf("admitted metric %d != accepted submissions %d", admitted, total)
+	}
+	// The storm really injected faults.
+	if counts := inj.Counts(); len(counts) <= 1 {
+		t.Fatalf("fault plan injected nothing: %v", counts)
+	}
+}
+
+// TestChaosHotUserStorm is the per-PR fairness storm (run with -race
+// in CI).
+func TestChaosHotUserStorm(t *testing.T) {
+	runHotUserStorm(t, 7)
+}
+
+// TestChaosHotUserStormSweep sweeps the storm across seeds in the
+// nightly chaos budget (make chaos).
+func TestChaosHotUserStormSweep(t *testing.T) {
+	if os.Getenv("PORTAL_CHAOS") == "" {
+		t.Skip("set PORTAL_CHAOS=1 (make chaos) for the seeded storm sweep")
+	}
+	seeds := 10
+	if s := os.Getenv("PORTAL_CHAOS_SEEDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			seeds = n
+		}
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runHotUserStorm(t, uint64(seed))
+		})
 	}
 }
 

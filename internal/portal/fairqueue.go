@@ -1,0 +1,235 @@
+package portal
+
+import (
+	"errors"
+	"sync"
+)
+
+// errFairShare is fairQueue.push's internal signal that the user's
+// own slice of the queue (FairShare × QueueDepth) is full while the
+// queue as a whole still has room; the pool surfaces it to callers as
+// ErrQuotaExceeded.
+var errFairShare = errors.New("portal: user queue share full")
+
+// userLane is one user's FIFO of queued tickets plus the scheduling
+// state the deficit-round-robin dequeue needs.
+type userLane struct {
+	user string
+	q    []*Ticket
+	// inflight counts the user's tickets currently held by workers;
+	// a lane with inflight ≥ maxInflight is skipped by the scheduler,
+	// which both bounds one user's worker share and keeps their jobs
+	// executing in admission order when the cap is 1.
+	inflight int
+	// weight is the lane's round-robin quantum (from ClassWeight);
+	// credit is the deficit counter — tickets this lane may still
+	// dequeue before the cursor moves on.
+	weight, credit int
+}
+
+// fairQueue is the pool's admission queue: a bounded set of per-user
+// FIFO lanes served by weighted (deficit) round-robin, so a hot user
+// can fill at most their own lane and is served at most `weight`
+// tickets per scheduling round. Among continuously backlogged users
+// the dequeue counts after any round differ by at most one quantum —
+// the bounded-unfairness property the fairness tests pin down.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	lanes  map[string]*userLane
+	ring   []*userLane // active lanes in first-appearance order
+	cursor int         // ring index the scheduler serves next
+
+	size        int // queued tickets across all lanes
+	capTotal    int // QueueDepth
+	perUserCap  int // FairShare × QueueDepth
+	maxInflight int // UserConcurrency
+	weightOf    func(user string) int
+
+	closed bool
+}
+
+func newFairQueue(capTotal, perUserCap, maxInflight int, weightOf func(string) int) *fairQueue {
+	fq := &fairQueue{
+		lanes:       map[string]*userLane{},
+		capTotal:    capTotal,
+		perUserCap:  perUserCap,
+		maxInflight: maxInflight,
+		weightOf:    weightOf,
+	}
+	fq.cond = sync.NewCond(&fq.mu)
+	return fq
+}
+
+// push appends a ticket to its user's lane. It returns ErrPoolClosed
+// after closeQueue, ErrQueueFull when the whole queue is at capacity,
+// and errFairShare when only this user's slice is full.
+func (fq *fairQueue) push(tk *Ticket) error {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	if fq.closed {
+		return ErrPoolClosed
+	}
+	if fq.size >= fq.capTotal {
+		return ErrQueueFull
+	}
+	lane := fq.lanes[tk.user]
+	if lane == nil {
+		w := 1
+		if fq.weightOf != nil {
+			if got := fq.weightOf(tk.user); got > 1 {
+				w = got
+			}
+		}
+		lane = &userLane{user: tk.user, weight: w, credit: w}
+		fq.lanes[tk.user] = lane
+		fq.ring = append(fq.ring, lane)
+	}
+	if len(lane.q) >= fq.perUserCap {
+		return errFairShare
+	}
+	lane.q = append(lane.q, tk)
+	fq.size++
+	fq.cond.Signal()
+	return nil
+}
+
+// pop blocks until a ticket is dequeued or the queue is closed AND
+// fully drained (then it returns nil and the calling worker exits).
+// After close, workers keep popping: that is the graceful drain.
+// The popped ticket's lane is charged one inflight slot; the caller
+// must pair every successful pop with release(user).
+func (fq *fairQueue) pop() *Ticket {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	for {
+		if tk, lane := fq.next(); tk != nil {
+			lane.inflight++
+			fq.size--
+			return tk
+		}
+		if fq.closed && fq.size == 0 {
+			return nil
+		}
+		fq.cond.Wait()
+	}
+}
+
+// next runs one deficit-round-robin scan: starting at the cursor,
+// serve the first lane that has queued work, spare inflight capacity,
+// and remaining credit. Serving costs one credit; a lane whose credit
+// hits zero (or that empties) refills and yields the cursor. Lanes
+// that cannot be served right now also refill and are skipped, so a
+// blocked lane never stalls the ring. Callers hold fq.mu.
+func (fq *fairQueue) next() (*Ticket, *userLane) {
+	fq.compact()
+	n := len(fq.ring)
+	if n == 0 {
+		return nil, nil
+	}
+	if fq.cursor >= n {
+		fq.cursor = 0
+	}
+	for i := 0; i < n; i++ {
+		lane := fq.ring[fq.cursor]
+		if len(lane.q) > 0 && lane.inflight < fq.maxInflight && lane.credit > 0 {
+			tk := lane.q[0]
+			lane.q[0] = nil
+			lane.q = lane.q[1:]
+			if len(lane.q) == 0 {
+				lane.q = nil
+			}
+			lane.credit--
+			if lane.credit == 0 || len(lane.q) == 0 {
+				lane.credit = lane.weight
+				fq.advance()
+			}
+			return tk, lane
+		}
+		lane.credit = lane.weight
+		fq.advance()
+	}
+	return nil, nil
+}
+
+func (fq *fairQueue) advance() {
+	fq.cursor++
+	if fq.cursor >= len(fq.ring) {
+		fq.cursor = 0
+	}
+}
+
+// compact removes dead lanes (no queued work, nothing inflight) so
+// the ring and lane map stay proportional to *active* users, not to
+// every user ever seen — the memory guard for planet-scale cohorts.
+// Callers hold fq.mu.
+func (fq *fairQueue) compact() {
+	removedBefore := 0
+	out := fq.ring[:0]
+	for i, lane := range fq.ring {
+		if len(lane.q) == 0 && lane.inflight == 0 {
+			delete(fq.lanes, lane.user)
+			if i < fq.cursor {
+				removedBefore++
+			}
+			continue
+		}
+		out = append(out, lane)
+	}
+	for i := len(out); i < len(fq.ring); i++ {
+		fq.ring[i] = nil
+	}
+	fq.ring = out
+	fq.cursor -= removedBefore
+	if len(fq.ring) == 0 {
+		fq.cursor = 0
+	} else if fq.cursor >= len(fq.ring) || fq.cursor < 0 {
+		fq.cursor = 0
+	}
+}
+
+// release returns a user's inflight slot after their popped ticket
+// reached a terminal state, and wakes waiters — the lane may have
+// become runnable again.
+func (fq *fairQueue) release(user string) {
+	fq.mu.Lock()
+	if lane := fq.lanes[user]; lane != nil && lane.inflight > 0 {
+		lane.inflight--
+	}
+	fq.cond.Broadcast()
+	fq.mu.Unlock()
+}
+
+// closeQueue stops admissions; queued tickets remain for the workers
+// to drain.
+func (fq *fairQueue) closeQueue() {
+	fq.mu.Lock()
+	fq.closed = true
+	fq.cond.Broadcast()
+	fq.mu.Unlock()
+}
+
+// drainAll rips every queued ticket out of the lanes (per-lane FIFO
+// order preserved) for forced finalization — the CloseWithTimeout
+// budget-exhausted path.
+func (fq *fairQueue) drainAll() []*Ticket {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	var out []*Ticket
+	for _, lane := range fq.ring {
+		out = append(out, lane.q...)
+		lane.q = nil
+	}
+	fq.size = 0
+	fq.cond.Broadcast()
+	return out
+}
+
+// queued reports the number of queued tickets (terminal-but-unpopped
+// tickets included, since they still hold queue slots).
+func (fq *fairQueue) queued() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.size
+}

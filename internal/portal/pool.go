@@ -50,6 +50,38 @@ type PoolConfig struct {
 	// the memory guard for planet-scale cohorts. Oldest entries are
 	// dropped first, amortized O(1) per append.
 	HistoryLimit int
+
+	// QuotaRate is each user's token-bucket admission rate in jobs
+	// per second (0 = quotas disabled). A user who submits faster is
+	// shed with ErrQuotaExceeded once their burst is spent.
+	QuotaRate float64
+	// QuotaBurst is the bucket capacity — how many jobs a user may
+	// submit back-to-back before the rate limit bites (default
+	// max(1, ⌊QuotaRate⌋) when quotas are enabled).
+	QuotaBurst int
+	// FairShare caps one user's slice of the queue as a fraction of
+	// QueueDepth, in (0, 1] (default 1.0 = a user may fill the whole
+	// queue, the legacy behavior). Submissions past the slice are
+	// shed with ErrQuotaExceeded even when the queue has room.
+	FairShare float64
+	// DefaultDeadline bounds every ticket's total lifetime — queue
+	// wait plus execution — unless SubmitAsyncOpts overrides it
+	// (0 = no deadline). Expiry yields ErrDeadline wherever the
+	// ticket is: queued, running, or draining.
+	DefaultDeadline time.Duration
+	// UserConcurrency caps one user's jobs running at once (default
+	// 1, which also keeps each user's history in admission order —
+	// the invariant the chaos suite pins down).
+	UserConcurrency int
+	// UserClass maps a user to a coarse class label for the
+	// pool_quota_sheds_total{user_class} metric (nil = "default").
+	// Classes keep the label cardinality bounded no matter how many
+	// users exist.
+	UserClass func(user string) string
+	// ClassWeight maps a class to its fair-dequeue weight ≥ 1 (nil =
+	// every class weight 1): a weight-w lane may dequeue w tickets
+	// per round-robin round.
+	ClassWeight func(class string) int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -67,6 +99,21 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.FairShare <= 0 || c.FairShare > 1 {
+		c.FairShare = 1
+	}
+	if c.UserConcurrency <= 0 {
+		c.UserConcurrency = 1
+	}
+	if c.QuotaRate > 0 && c.QuotaBurst <= 0 {
+		c.QuotaBurst = int(c.QuotaRate)
+		if c.QuotaBurst < 1 {
+			c.QuotaBurst = 1
+		}
+	}
+	if c.DefaultDeadline < 0 {
+		c.DefaultDeadline = 0
 	}
 	return c
 }
@@ -86,6 +133,7 @@ type toolMetrics struct {
 	retries      *obs.Counter   // pool_tool_retries_total{tool}
 	shedQueue    *obs.Counter   // pool_tool_shed_total{tool,reason=queue}
 	shedBreaker  *obs.Counter   // pool_tool_shed_total{tool,reason=breaker}
+	shedQuota    *obs.Counter   // pool_tool_shed_total{tool,reason=quota}
 	seconds      *obs.Histogram // pool_tool_job_seconds{tool}
 	breakerState *obs.Gauge     // portal_breaker_state{tool}: 0 closed, 1 open, 2 half-open
 }
@@ -99,25 +147,67 @@ func resolveToolMetrics(ob *obs.Observer, tool string) *toolMetrics {
 		retries:      ob.CounterVec("pool_tool_retries_total", "tool").With(tool),
 		shedQueue:    shed.With(tool, "queue"),
 		shedBreaker:  shed.With(tool, "breaker"),
+		shedQuota:    shed.With(tool, "quota"),
 		seconds:      ob.HistogramVec("pool_tool_job_seconds", []string{"tool"}).With(tool),
 		breakerState: ob.GaugeVec("portal_breaker_state", "tool").With(tool),
 	}
 }
 
-// poolJob is one queued submission; done is buffered so the worker's
-// single send can never block or double-complete.
-type poolJob struct {
-	user, tool, input string
-	t                 Tool
-	br                *Breaker
-	tm                *toolMetrics
-	done              chan JobResult
+// lifecycleMetrics caches the ticket-lifecycle series so the
+// admission and completion hot paths never pay a label lookup.
+type lifecycleMetrics struct {
+	queueWait   *obs.Histogram  // pool_queue_wait_seconds
+	admitted    *obs.Counter    // pool_tickets_total{state=admitted}
+	completed   *obs.Counter    // pool_tickets_total{state=completed}
+	expired     *obs.Counter    // pool_tickets_total{state=expired}
+	cancelled   *obs.Counter    // pool_tickets_total{state=cancelled}
+	expQueued   *obs.Counter    // pool_deadline_expiries_total{where=queued}
+	expRunning  *obs.Counter    // pool_deadline_expiries_total{where=running}
+	expDraining *obs.Counter    // pool_deadline_expiries_total{where=draining}
+	quotaSheds  *obs.CounterVec // pool_quota_sheds_total{user_class}
 }
 
-// Pool is the resilient successor to Portal: N workers over a bounded
-// queue and sharded per-user history, with panic isolation, retry
-// with exponential backoff for transient failures, and per-tool
-// circuit breakers. All telemetry flows through internal/obs.
+func resolveLifecycleMetrics(ob *obs.Observer) *lifecycleMetrics {
+	tickets := ob.CounterVec("pool_tickets_total", "state")
+	exp := ob.CounterVec("pool_deadline_expiries_total", "where")
+	return &lifecycleMetrics{
+		queueWait:   ob.Histogram("pool_queue_wait_seconds"),
+		admitted:    tickets.With("admitted"),
+		completed:   tickets.With("completed"),
+		expired:     tickets.With("expired"),
+		cancelled:   tickets.With("cancelled"),
+		expQueued:   exp.With("queued"),
+		expRunning:  exp.With("running"),
+		expDraining: exp.With("draining"),
+		quotaSheds:  ob.CounterVec("pool_quota_sheds_total", "user_class"),
+	}
+}
+
+// expiry returns the pool_deadline_expiries_total child for a site.
+func (lm *lifecycleMetrics) expiry(where string) *obs.Counter {
+	switch where {
+	case "running":
+		return lm.expRunning
+	case "draining":
+		return lm.expDraining
+	default:
+		return lm.expQueued
+	}
+}
+
+// TicketOpts customizes one SubmitAsyncOpts admission.
+type TicketOpts struct {
+	// Deadline bounds the ticket's total lifetime (queue wait plus
+	// execution). Zero falls back to PoolConfig.DefaultDeadline.
+	Deadline time.Duration
+}
+
+// Pool is the resilient successor to Portal: N workers over a
+// weighted-fair bounded queue and sharded per-user history, with an
+// async ticket lifecycle (SubmitAsync/Wait/Cancel, per-job
+// deadlines), per-user admission quotas, panic isolation, retry with
+// exponential backoff for transient failures, and per-tool circuit
+// breakers. All telemetry flows through internal/obs.
 type Pool struct {
 	cfg PoolConfig
 
@@ -126,6 +216,7 @@ type Pool struct {
 	breakers  map[string]*Breaker
 	toolStats map[string]*toolMetrics
 	shardJobs []*obs.Counter // pool_shard_jobs_total{shard}, index-aligned with shards
+	lm        *lifecycleMetrics
 	clock     func() time.Time
 	after     func(time.Duration) <-chan time.Time
 	obs       *obs.Observer
@@ -134,10 +225,14 @@ type Pool struct {
 	rngState uint64
 
 	shards []poolShard
+	fq     *fairQueue
+	quota  *quotaTable
 
-	lifeMu sync.RWMutex // serializes Submit sends against Close
+	runMu   sync.Mutex // guards running, the set of tickets held by workers
+	running map[*Ticket]struct{}
+
+	lifeMu sync.RWMutex // guards closed against concurrent Close
 	closed bool
-	jobs   chan *poolJob
 	wg     sync.WaitGroup
 }
 
@@ -145,6 +240,13 @@ type Pool struct {
 // Close it when done to stop the workers.
 func NewPool(cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
+	perUserCap := int(cfg.FairShare * float64(cfg.QueueDepth))
+	if perUserCap < 1 {
+		perUserCap = 1
+	}
+	if perUserCap > cfg.QueueDepth {
+		perUserCap = cfg.QueueDepth
+	}
 	p := &Pool{
 		cfg:       cfg,
 		tools:     map[string]Tool{},
@@ -155,12 +257,21 @@ func NewPool(cfg PoolConfig) *Pool {
 		obs:       obs.Default(),
 		rngState:  cfg.Seed,
 		shards:    make([]poolShard, cfg.Shards),
-		jobs:      make(chan *poolJob, cfg.QueueDepth),
+		quota:     newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst),
+		running:   map[*Ticket]struct{}{},
 	}
+	weightOf := func(user string) int {
+		if cfg.ClassWeight == nil {
+			return 1
+		}
+		return cfg.ClassWeight(p.classOf(user))
+	}
+	p.fq = newFairQueue(cfg.QueueDepth, perUserCap, cfg.UserConcurrency, weightOf)
 	for i := range p.shards {
 		p.shards[i].history = map[string][]JobResult{}
 	}
 	p.resolveShardCounters()
+	p.lm = resolveLifecycleMetrics(p.obs)
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go p.worker()
@@ -168,28 +279,98 @@ func NewPool(cfg PoolConfig) *Pool {
 	return p
 }
 
-// Close stops accepting submissions, drains queued jobs, and waits
-// for the workers to exit. Safe to call once.
+// classOf maps a user to their quota class label.
+func (p *Pool) classOf(user string) string {
+	if p.cfg.UserClass == nil {
+		return "default"
+	}
+	return p.cfg.UserClass(user)
+}
+
+// Close stops accepting submissions and drains the queue: every
+// already-admitted ticket still reaches a terminal state — executing
+// normally, or expiring with ErrDeadline if its deadline passes while
+// draining — before the workers exit. No admitted ticket is ever
+// lost: Wait on any of them returns. Blocks until the drain is done;
+// use CloseWithTimeout to bound it. Safe to call more than once.
 func (p *Pool) Close() {
 	p.lifeMu.Lock()
-	if p.closed {
-		p.lifeMu.Unlock()
-		return
-	}
+	already := p.closed
 	p.closed = true
-	close(p.jobs)
 	p.lifeMu.Unlock()
+	if !already {
+		p.fq.closeQueue()
+	}
 	p.wg.Wait()
 }
 
+// CloseWithTimeout is Close with a drain budget: it waits up to d for
+// the graceful drain, then forces the rest — still-queued tickets
+// expire with ErrDeadline (pool_deadline_expiries_total
+// where="draining") and running jobs are interrupted through their
+// quit channels, each getting the usual cancel + grace window. Every
+// admitted ticket still terminates exactly once. Reports whether the
+// graceful drain finished within budget.
+func (p *Pool) CloseWithTimeout(d time.Duration) bool {
+	p.lifeMu.Lock()
+	already := p.closed
+	p.closed = true
+	p.lifeMu.Unlock()
+	if !already {
+		p.fq.closeQueue()
+	}
+	p.mu.RLock()
+	after := p.after
+	ob := p.obs
+	p.mu.RUnlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return true
+	case <-after(d):
+	}
+	for _, tk := range p.fq.drainAll() {
+		ob.Gauge("pool_queue_depth").Add(-1)
+		p.finalizeNonRun(tk, ErrDeadline, "draining")
+	}
+	p.runMu.Lock()
+	for tk := range p.running {
+		tk.mu.Lock()
+		if tk.state == TicketRunning && tk.quitErr == nil {
+			tk.quitErr = ErrDeadline
+			tk.quitWhere = "draining"
+			close(tk.quit)
+		}
+		tk.mu.Unlock()
+	}
+	p.runMu.Unlock()
+	<-drained
+	return false
+}
+
+// closing reports whether Close has begun — used to label deadline
+// expiries that land during the drain.
+func (p *Pool) closing() bool {
+	p.lifeMu.RLock()
+	defer p.lifeMu.RUnlock()
+	return p.closed
+}
+
 // SetObserver redirects the pool's telemetry (nil detaches it). The
-// per-tool and per-shard labeled children are re-resolved against the
-// new observer so cached handles keep pointing at live series.
+// per-tool, per-shard, and lifecycle labeled children are re-resolved
+// against the new observer so cached handles keep pointing at live
+// series.
 func (p *Pool) SetObserver(o *obs.Observer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.obs = o
 	p.resolveShardCounters()
+	p.lm = resolveLifecycleMetrics(o)
 	for name, br := range p.breakers {
 		p.toolStats[name] = resolveToolMetrics(o, name)
 		p.toolStats[name].breakerState.Set(breakerStateValue(br.State()))
@@ -221,9 +402,10 @@ func breakerStateValue(s BreakerState) float64 {
 }
 
 // SetClock injects the duration clock and the timer source used for
-// timeout enforcement and retry backoff, mirroring Portal.SetClock.
-// Either may be nil to keep the current one. Registered breakers
-// follow the new clock.
+// timeout enforcement, retry backoff, deadlines, and drain budgets,
+// mirroring Portal.SetClock. Either may be nil to keep the current
+// one. Registered breakers and the quota buckets follow the new
+// clock.
 func (p *Pool) SetClock(now func() time.Time, after func(time.Duration) <-chan time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -327,92 +509,323 @@ func (p *Pool) jitter() float64 {
 	return float64(z>>11) / (1 << 53)
 }
 
-// Submit runs a job through the pool and blocks until its result is
-// ready. Load-shedding paths return immediately instead of blocking:
-// ErrCircuitOpen when the tool's breaker is open, ErrQueueFull when
-// the bounded queue is at capacity. A nil error means exactly one
-// JobResult was produced and appended to the user's history.
-func (p *Pool) Submit(user, tool, input string) (JobResult, error) {
+// SubmitAsync admits a job and returns its Ticket without waiting for
+// execution — poll with Status, block with Wait or Done, abort with
+// Cancel. Shedding paths return immediately: ErrCircuitOpen when the
+// tool's breaker is open, ErrQuotaExceeded when the user's admission
+// quota or queue share is spent, ErrQueueFull when the whole queue is
+// at capacity, ErrPoolClosed after Close. A nil error means the
+// ticket was admitted and will reach exactly one terminal state.
+func (p *Pool) SubmitAsync(user, tool, input string) (*Ticket, error) {
+	return p.SubmitAsyncOpts(user, tool, input, TicketOpts{})
+}
+
+// SubmitAsyncOpts is SubmitAsync with per-ticket options (deadline).
+func (p *Pool) SubmitAsyncOpts(user, tool, input string, opts TicketOpts) (*Ticket, error) {
 	p.mu.RLock()
 	t, ok := p.tools[tool]
 	br := p.breakers[tool]
 	tm := p.toolStats[tool]
 	ob := p.obs
+	lm := p.lm
+	clock := p.clock
+	after := p.after
 	p.mu.RUnlock()
 	if !ok {
 		ob.Counter("pool_jobs_unknown_tool").Inc()
-		return JobResult{}, fmt.Errorf("portal: no tool %q", tool)
+		return nil, fmt.Errorf("portal: no tool %q", tool)
 	}
 	if err := br.Allow(); err != nil {
 		ob.Counter("pool_jobs_shed_breaker").Inc()
 		tm.shedBreaker.Inc()
 		ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "breaker"})
-		return JobResult{}, fmt.Errorf("portal: tool %q: %w", tool, err)
+		return nil, fmt.Errorf("portal: tool %q: %w", tool, err)
 	}
-	j := &poolJob{user: user, tool: tool, input: input, t: t, br: br, tm: tm,
-		done: make(chan JobResult, 1)}
-
-	p.lifeMu.RLock()
-	if p.closed {
-		p.lifeMu.RUnlock()
+	now := clock()
+	if !p.quota.admit(user, now) {
 		br.Release()
-		return JobResult{}, ErrPoolClosed
+		ob.Counter("pool_jobs_shed_quota").Inc()
+		tm.shedQuota.Inc()
+		lm.quotaSheds.With(p.classOf(user)).Inc()
+		ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "quota"})
+		return nil, fmt.Errorf("portal: user %q: %w", user, ErrQuotaExceeded)
 	}
-	select {
-	case p.jobs <- j:
-		p.lifeMu.RUnlock()
-		ob.Gauge("pool_queue_depth").Add(1)
-	default:
-		p.lifeMu.RUnlock()
-		// Backpressure: shed instead of blocking the submitter, and
-		// give back any half-open probe slot the breaker reserved.
+	tk := &Ticket{
+		user: user, tool: tool, input: input,
+		queuedAt: now,
+		t:        t, br: br, tm: tm, p: p,
+		done: make(chan struct{}),
+		quit: make(chan struct{}),
+	}
+	d := opts.Deadline
+	if d <= 0 {
+		d = p.cfg.DefaultDeadline
+	}
+	if d > 0 {
+		tk.deadline = now.Add(d)
+	}
+	// The span must exist before push: a worker may pop and finish
+	// the ticket before SubmitAsync regains control.
+	sp := ob.StartSpan("portal.ticket")
+	sp.SetLabel("tool", tool)
+	sp.SetLabel("user", user)
+	tk.sp = sp
+	if err := p.fq.push(tk); err != nil {
 		br.Release()
-		ob.Counter("pool_jobs_shed_queue").Inc()
-		tm.shedQueue.Inc()
-		ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "queue"})
-		return JobResult{}, ErrQueueFull
+		p.quota.refund(user)
+		switch {
+		case errors.Is(err, ErrPoolClosed):
+			sp.SetLabel("state", "shed_closed")
+			sp.End()
+			return nil, ErrPoolClosed
+		case errors.Is(err, errFairShare):
+			ob.Counter("pool_jobs_shed_quota").Inc()
+			tm.shedQuota.Inc()
+			lm.quotaSheds.With(p.classOf(user)).Inc()
+			ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "share"})
+			sp.SetLabel("state", "shed_share")
+			sp.End()
+			return nil, fmt.Errorf("portal: user %q queue share full: %w", user, ErrQuotaExceeded)
+		default:
+			// Backpressure: shed instead of blocking the submitter, and
+			// give back any half-open probe slot the breaker reserved.
+			ob.Counter("pool_jobs_shed_queue").Inc()
+			tm.shedQueue.Inc()
+			ob.Emit("pool.shed", map[string]string{"tool": tool, "user": user, "reason": "queue"})
+			sp.SetLabel("state", "shed_queue")
+			sp.End()
+			return nil, ErrQueueFull
+		}
 	}
-	return <-j.done, nil
+	lm.admitted.Inc()
+	ob.Gauge("pool_queue_depth").Add(1)
+	if d > 0 {
+		go p.watchTicket(tk, d, after)
+	}
+	return tk, nil
 }
 
-// worker is the job-execution loop: dequeue, run (with retries and
-// panic isolation), record the breaker outcome, append history,
-// complete the job exactly once.
+// Submit runs a job through the pool and blocks until its result is
+// ready — it is exactly SubmitAsync followed by Wait. Shedding paths
+// return immediately with the errors SubmitAsync documents. A nil
+// error means exactly one JobResult was produced and appended to the
+// user's history.
+func (p *Pool) Submit(user, tool, input string) (JobResult, error) {
+	tk, err := p.SubmitAsync(user, tool, input)
+	if err != nil {
+		return JobResult{}, err
+	}
+	return tk.Wait(nil)
+}
+
+// watchTicket is the per-ticket deadline watchdog: it enforces expiry
+// at the wall-clock instant via the injectable timer, and exits as
+// soon as the ticket turns terminal. (The worker additionally checks
+// the deadline against the pool clock when it pops the ticket, so
+// expiry is deterministic under a fake clock even if the fake timer
+// never fires.)
+func (p *Pool) watchTicket(tk *Ticket, d time.Duration, after func(time.Duration) <-chan time.Time) {
+	select {
+	case <-after(d):
+		p.expireTicket(tk)
+	case <-tk.done:
+	}
+}
+
+// expireTicket enforces tk's deadline wherever the ticket currently
+// is: a queued ticket is finalized immediately; a running one is
+// interrupted through its quit channel and finishes via the normal
+// worker path; a terminal one is left alone.
+func (p *Pool) expireTicket(tk *Ticket) {
+	draining := p.closing()
+	tk.mu.Lock()
+	switch tk.state {
+	case TicketDone:
+		tk.mu.Unlock()
+	case TicketRunning:
+		if tk.quitErr == nil {
+			tk.quitErr = ErrDeadline
+			if draining {
+				tk.quitWhere = "draining"
+			} else {
+				tk.quitWhere = "running"
+			}
+			close(tk.quit)
+		}
+		tk.mu.Unlock()
+	default:
+		tk.mu.Unlock()
+		where := "queued"
+		if draining {
+			where = "draining"
+		}
+		p.finalizeNonRun(tk, ErrDeadline, where)
+	}
+}
+
+// finalizeNonRun moves a ticket that never started running to its
+// terminal state — cancel or deadline expiry while queued, or a
+// forced drain. The breaker's admission slot is released rather than
+// recorded (the tool never got a chance to fail) and no history entry
+// is written (nothing ran). Idempotent: the first caller wins.
+func (p *Pool) finalizeNonRun(tk *Ticket, cause error, where string) {
+	tk.mu.Lock()
+	if tk.state != TicketQueued {
+		tk.mu.Unlock()
+		return
+	}
+	tk.state = TicketDone
+	tk.err = cause
+	tk.res = JobResult{Tool: tk.tool, Input: tk.input, When: tk.queuedAt, Err: cause.Error()}
+	sp := tk.sp
+	close(tk.done)
+	tk.mu.Unlock()
+
+	tk.br.Release()
+	p.mu.RLock()
+	ob, lm := p.obs, p.lm
+	p.mu.RUnlock()
+	state := "cancelled"
+	if errors.Is(cause, ErrDeadline) {
+		state = "expired"
+		lm.expired.Inc()
+		lm.expiry(where).Inc()
+		ob.Emit("pool.deadline", map[string]string{"tool": tk.tool, "user": tk.user, "where": where})
+	} else {
+		lm.cancelled.Inc()
+	}
+	sp.SetLabel("state", state)
+	sp.End()
+}
+
+// startTicket transitions a popped ticket into the running state,
+// enforcing its deadline at the moment of pop against the pool clock
+// — the deterministic check under a fake clock, independent of the
+// watchdog timer. Reports false when the ticket must not run
+// (already terminal, or expired on pop).
+func (p *Pool) startTicket(tk *Ticket, now time.Time) bool {
+	tk.mu.Lock()
+	if tk.state != TicketQueued {
+		tk.mu.Unlock()
+		return false
+	}
+	if !tk.deadline.IsZero() && !now.Before(tk.deadline) {
+		tk.mu.Unlock()
+		where := "queued"
+		if p.closing() {
+			where = "draining"
+		}
+		p.finalizeNonRun(tk, ErrDeadline, where)
+		return false
+	}
+	tk.state = TicketRunning
+	tk.mu.Unlock()
+	p.runMu.Lock()
+	p.running[tk] = struct{}{}
+	p.runMu.Unlock()
+	return true
+}
+
+// finishTicket publishes an executed ticket's terminal state and ends
+// its span. rawErr classifies the lifecycle outcome: ErrDeadline and
+// ErrCancelled are terminal lifecycle errors; anything else (tool
+// failure, timeout) is a completed run whose details live in res.
+func (p *Pool) finishTicket(tk *Ticket, res JobResult, rawErr error) {
+	p.runMu.Lock()
+	delete(p.running, tk)
+	p.runMu.Unlock()
+
+	var cause error
+	if errors.Is(rawErr, ErrDeadline) || errors.Is(rawErr, ErrCancelled) {
+		cause = rawErr
+	}
+	tk.mu.Lock()
+	tk.state = TicketDone
+	tk.res = res
+	tk.err = cause
+	where := tk.quitWhere
+	sp := tk.sp
+	close(tk.done)
+	tk.mu.Unlock()
+
+	p.mu.RLock()
+	ob, lm := p.obs, p.lm
+	p.mu.RUnlock()
+	state := "completed"
+	switch {
+	case errors.Is(cause, ErrDeadline):
+		state = "expired"
+		lm.expired.Inc()
+		if where == "" {
+			where = "running"
+		}
+		lm.expiry(where).Inc()
+		ob.Emit("pool.deadline", map[string]string{"tool": tk.tool, "user": tk.user, "where": where})
+	case errors.Is(cause, ErrCancelled):
+		state = "cancelled"
+		lm.cancelled.Inc()
+	default:
+		lm.completed.Inc()
+	}
+	sp.SetLabel("state", state)
+	sp.SetLabel("attempts", strconv.Itoa(res.Attempts))
+	sp.SetLabel("timed_out", strconv.FormatBool(res.TimedOut))
+	sp.End()
+}
+
+// worker is the job-execution loop: fair-dequeue, start (or expire)
+// the ticket, run it (with retries and panic isolation), record the
+// breaker outcome, append history, publish the terminal state, and
+// return the user's inflight slot. Workers exit when the queue is
+// closed and fully drained.
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for j := range p.jobs {
+	for {
+		tk := p.fq.pop()
+		if tk == nil {
+			return
+		}
 		p.mu.RLock()
 		ob := p.obs
+		lm := p.lm
 		shardJobs := p.shardJobs
+		clock := p.clock
 		p.mu.RUnlock()
 		ob.Gauge("pool_queue_depth").Add(-1)
-		res := p.runJob(j, ob)
-		idx := p.shardIndex(j.user)
+		now := clock()
+		lm.queueWait.ObserveDuration(now.Sub(tk.queuedAt))
+		if !p.startTicket(tk, now) {
+			// Cancelled or expired while queued: already finalized.
+			p.fq.release(tk.user)
+			continue
+		}
+		res, rawErr := p.runJob(tk, ob)
+		idx := p.shardIndex(tk.user)
 		shardJobs[idx].Inc()
 		sh := &p.shards[idx]
 		sh.mu.Lock()
-		h := append(sh.history[j.user], res)
+		h := append(sh.history[tk.user], res)
 		// Trim in blocks so the cap costs O(1) amortized: only once
 		// the slice doubles past the limit do we copy the tail down.
 		if lim := p.cfg.HistoryLimit; lim > 0 && len(h) >= 2*lim {
 			h = append(h[:0:0], h[len(h)-lim:]...)
 		}
-		sh.history[j.user] = h
+		sh.history[tk.user] = h
 		sh.mu.Unlock()
-		j.done <- res
+		p.finishTicket(tk, res, rawErr)
+		p.fq.release(tk.user)
 	}
 }
 
-// runJob executes one job: up to Retry.MaxAttempts attempts with
-// exponential backoff + jitter between transient failures, then
-// breaker recording and telemetry.
-func (p *Pool) runJob(j *poolJob, ob *obs.Observer) JobResult {
+// runJob executes one ticket: up to Retry.MaxAttempts attempts with
+// exponential backoff + jitter between transient failures — both the
+// attempt and the backoff sleep abort promptly when the ticket's quit
+// channel fires (deadline or cancel) — then breaker recording and
+// telemetry.
+func (p *Pool) runJob(tk *Ticket, ob *obs.Observer) (JobResult, error) {
 	p.mu.RLock()
 	clock, after := p.clock, p.after
 	p.mu.RUnlock()
-	sp := ob.StartSpan("pool.job")
-	sp.SetLabel("tool", j.tool)
-	sp.SetLabel("user", j.user)
 	ob.Gauge("pool_jobs_inflight").Add(1)
 	start := clock()
 
@@ -425,25 +838,44 @@ func (p *Pool) runJob(j *poolJob, ob *obs.Observer) JobResult {
 	attempt := 0
 	for {
 		attempt++
-		res, rawErr = execTool(j.t, j.tool, j.user, j.input, p.cfg.Timeout, after, ob)
+		res, rawErr = execTool(tk.t, tk.tool, tk.user, tk.input, p.cfg.Timeout, after, tk.quit, tk, ob)
 		if rawErr == nil || attempt >= maxAttempts || res.TimedOut || !IsTransient(rawErr) {
 			break
 		}
 		ob.Counter("pool_retries").Inc()
-		j.tm.retries.Inc()
-		<-after(p.cfg.Retry.Delay(attempt, p.jitter()))
+		tk.tm.retries.Inc()
+		interrupted := false
+		select {
+		case <-after(p.cfg.Retry.Delay(attempt, p.jitter())):
+		case <-tk.quit:
+			interrupted = true
+		}
+		if interrupted {
+			// Deadline or cancellation landed during the backoff —
+			// possibly one shorter than the backoff itself. The next
+			// attempt would be interrupted instantly, so abort now.
+			rawErr = tk.quitReason()
+			res = JobResult{Tool: tk.tool, Err: rawErr.Error()}
+			break
+		}
 	}
 	res.Attempts = attempt
-	res.Input = j.input
+	res.Input = tk.input
 	res.When = start
 	res.Duration = clock().Sub(start)
 
-	success := rawErr == nil && !res.TimedOut
-	j.br.Record(success)
+	if errors.Is(rawErr, ErrDeadline) || errors.Is(rawErr, ErrCancelled) {
+		// The interrupt is the ticket's fault, not the tool's: give
+		// back the admission slot instead of recording a failure, so
+		// user deadlines can't trip a healthy tool's breaker.
+		tk.br.Release()
+	} else {
+		tk.br.Record(rawErr == nil && !res.TimedOut)
+	}
 
 	ob.Gauge("pool_jobs_inflight").Add(-1)
 	ob.Counter("pool_jobs_total").Inc()
-	j.tm.jobs.Inc()
+	tk.tm.jobs.Inc()
 	if res.TimedOut {
 		ob.Counter("pool_jobs_timeout").Inc()
 	}
@@ -451,11 +883,8 @@ func (p *Pool) runJob(j *poolJob, ob *obs.Observer) JobResult {
 		ob.Counter("pool_jobs_error").Inc()
 	}
 	ob.Histogram("pool_job_seconds").ObserveDuration(res.Duration)
-	j.tm.seconds.ObserveDuration(res.Duration)
-	sp.SetLabel("timed_out", strconv.FormatBool(res.TimedOut))
-	sp.SetLabel("attempts", strconv.Itoa(attempt))
-	sp.End()
-	return res
+	tk.tm.seconds.ObserveDuration(res.Duration)
+	return res, rawErr
 }
 
 // History returns the user's retained past results, newest first,

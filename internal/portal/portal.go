@@ -149,7 +149,7 @@ func (p *Portal) Submit(user, tool, input string) (JobResult, error) {
 	sp.SetLabel("user", user)
 	ob.Gauge("portal_jobs_inflight").Add(1)
 	start := clock()
-	res, _ := execTool(t, tool, user, input, p.timeout, after, ob)
+	res, _ := execTool(t, tool, user, input, p.timeout, after, nil, nil, ob)
 	res.Input = input
 	res.When = start
 	res.Duration = clock().Sub(start)
@@ -179,6 +179,12 @@ type runOutcome struct {
 	err error
 }
 
+// quitReasoner reports why an attempt's quit channel was closed;
+// *Ticket implements it.
+type quitReasoner interface {
+	quitReason() error
+}
+
 // execTool runs a single attempt of t.Run with the portal's three
 // layers of isolation, shared by Portal.Submit and the Pool workers:
 //
@@ -193,11 +199,22 @@ type runOutcome struct {
 //     eventually-finishing runaway never leaks its goroutine or its
 //     buffered outcome.
 //
+// quit, when non-nil, is a second interrupt source beside the timeout
+// timer: the pool closes it when a ticket's deadline expires or it is
+// cancelled mid-run. An interrupted attempt goes through the same
+// cancel + grace + abandon machinery as a timeout, but is not marked
+// TimedOut — its raw error comes from qr.quitReason() (ErrDeadline or
+// ErrCancelled), so callers can tell the three interrupts apart. The
+// legacy Portal passes nil for both. (qr is an interface rather than
+// a func value so the pool can pass its *Ticket without a per-call
+// closure allocation on the hot path.)
+//
 // The returned error is the tool's raw error (nil on success), kept
 // alongside the stringified JobResult.Err so callers can classify it
 // (IsTransient, ErrToolPanic) without string matching.
 func execTool(t Tool, tool, user, input string, timeout time.Duration,
-	after func(time.Duration) <-chan time.Time, ob *obs.Observer) (JobResult, error) {
+	after func(time.Duration) <-chan time.Time,
+	quit <-chan struct{}, qr quitReasoner, ob *obs.Observer) (JobResult, error) {
 	cancel := make(chan struct{})
 	done := make(chan runOutcome, 1)
 	go func() {
@@ -213,11 +230,17 @@ func execTool(t Tool, tool, user, input string, timeout time.Duration,
 	}()
 	res := JobResult{Tool: tool}
 	var rawErr error
+	interrupted := false
 	select {
 	case o := <-done:
 		res.Output = o.out
 		rawErr = o.err
+	case <-quit:
+		interrupted = true
 	case <-after(timeout):
+		res.TimedOut = true
+	}
+	if interrupted || res.TimedOut {
 		close(cancel)
 		// Give the tool a short grace period to acknowledge.
 		select {
@@ -239,8 +262,13 @@ func execTool(t Tool, tool, user, input string, timeout time.Duration,
 				ob.Counter("portal_abandoned_returned").Inc()
 			}()
 		}
-		res.TimedOut = true
-		if rawErr == nil {
+		// The interrupt reason dominates whatever the grace period
+		// produced: a past-deadline or cancelled job is terminated even
+		// if output arrived a hair late, so outcomes are deterministic
+		// under injected timers.
+		if interrupted {
+			rawErr = qr.quitReason()
+		} else if rawErr == nil {
 			rawErr = errors.New("terminated: exceeded portal time limit")
 		}
 	}

@@ -1,0 +1,81 @@
+package portal
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded is returned by Submit/SubmitAsync when a user's
+// token-bucket admission quota is exhausted, or when their FairShare
+// slice of the queue is already full. Unlike ErrQueueFull (global
+// backpressure) this is per-user backpressure: the hot user is shed
+// while everyone else keeps submitting.
+var ErrQuotaExceeded = errors.New("portal: user quota exceeded")
+
+// quotaTable is per-user token-bucket admission control. Each user's
+// bucket refills at rate tokens/second up to burst; one admission
+// costs one token. Buckets refill lazily against the pool clock, so
+// the table is deterministic under a fake clock and costs nothing for
+// idle users. rate ≤ 0 disables the whole table.
+type quotaTable struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*quotaBucket
+}
+
+type quotaBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(rate float64, burst int) *quotaTable {
+	return &quotaTable{rate: rate, burst: float64(burst), buckets: map[string]*quotaBucket{}}
+}
+
+func (q *quotaTable) enabled() bool { return q.rate > 0 }
+
+// admit spends one token from the user's bucket, refilling for the
+// time elapsed since their last admission. Reports false when the
+// bucket is dry — the caller sheds with ErrQuotaExceeded.
+func (q *quotaTable) admit(user string, now time.Time) bool {
+	if !q.enabled() {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[user]
+	if b == nil {
+		b = &quotaBucket{tokens: q.burst, last: now}
+		q.buckets[user] = b
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// refund returns the token of an admission that failed downstream
+// (queue full, share full, pool closed): a shed job never burns the
+// user's budget.
+func (q *quotaTable) refund(user string) {
+	if !q.enabled() {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b := q.buckets[user]; b != nil {
+		b.tokens++
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+	}
+}
