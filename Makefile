@@ -25,8 +25,8 @@ bench:
 # real benchtime and parse them into BENCH_FILE (see EXPERIMENTS.md
 # for the format). Compare against the committed BENCH_PR*.json files
 # to see drift across PRs.
-BENCH_FILE ?= BENCH_PR8.json
-BENCH_PKGS ?= ./internal/obs ./internal/portal ./internal/route ./internal/mooc ./internal/place
+BENCH_FILE ?= BENCH_PR9.json
+BENCH_PKGS ?= ./internal/obs ./internal/portal ./internal/route ./internal/mooc ./internal/place ./internal/linsolve ./internal/techmap
 BENCH_TIME ?= 0.5s
 bench-record:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCH_TIME) -timeout 30m $(BENCH_PKGS) \

@@ -7,11 +7,14 @@
 //
 //	placer -case fract -algo quadratic|anneal|random [-seed N] [-dump]
 //	placer -case prim1 -algo anneal -chains 4 -workers 2
+//	placer -case struct -algo quadratic -place-workers 4
 //
 // For -algo anneal, -chains fixes the number of independent annealing
 // chains (the best result wins) and -workers bounds how many run
 // concurrently: the placement depends only on -seed and -chains, never
-// on -workers.
+// on -workers. For -algo quadratic, -place-workers bounds how many
+// regions of one bipartition level solve concurrently — like -workers,
+// it never changes the placement.
 package main
 
 import (
@@ -36,6 +39,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "instance and algorithm seed")
 	chains := fs.Int("chains", 1, "anneal: independent chains (fixes the result)")
 	workers := fs.Int("workers", 0, "anneal: concurrent chains, 0 = GOMAXPROCS (never changes the result)")
+	placeWorkers := fs.Int("place-workers", 0, "quadratic: concurrent region solves per level, 0 = GOMAXPROCS (never changes the result)")
 	dump := fs.Bool("dump", false, "print the placement (cell x y per line)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,7 +66,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var err error
 	switch *algo {
 	case "quadratic":
-		pl, err = place.Quadratic(p, place.QuadraticOpts{})
+		pl, err = place.Quadratic(p, place.QuadraticOpts{Workers: *placeWorkers})
 		if err == nil {
 			pl, err = place.Legalize(p, pl)
 		}

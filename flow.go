@@ -52,9 +52,10 @@ type FlowOpts struct {
 	// PlaceChains sets the annealing chain count (0 means 4). The
 	// chain count — never the worker count — determines the result.
 	PlaceChains int
-	// PlaceWorkers bounds the annealing stage's concurrency: 0 means
-	// GOMAXPROCS. Like RouteWorkers it changes only wall clock; the
-	// refined placement is byte-identical for every value.
+	// PlaceWorkers bounds the placement stage's concurrency — the
+	// quadratic placer's per-level region solves and the annealing
+	// chains: 0 means GOMAXPROCS. Like RouteWorkers it changes only
+	// wall clock; the placement is byte-identical for every value.
 	PlaceWorkers int
 	// WireModel enables Elmore wire delays in timing (per routed net).
 	WireModel bool
@@ -277,7 +278,30 @@ func RunFlowOnNetwork(nw *netlist.Network, opts FlowOpts) (*Flow, error) {
 		return finish(nil, err)
 	}
 	f.PlaceProblem = prob
-	global, err := place.Quadratic(prob, place.QuadraticOpts{})
+	// Level telemetry mirrors the route stage's wave idiom: one labeled
+	// family (flow_quad_events_total{kind}) plus a child span per
+	// bipartition level. OnLevel fires in level order on this
+	// goroutine, so the series and spans are deterministic for any
+	// PlaceWorkers value.
+	quadEvents := ob.CounterVec("flow_quad_events_total", "kind")
+	quadRegions, quadLeaves, quadIters :=
+		quadEvents.With("regions"), quadEvents.With("leaves"), quadEvents.With("cg_iterations")
+	global, err := place.Quadratic(prob, place.QuadraticOpts{
+		Workers: opts.PlaceWorkers,
+		OnLevel: func(ls place.QuadLevelStats) {
+			lsp := sp.StartChild("flow.place.quad.level")
+			lsp.SetLabel("level", strconv.Itoa(ls.Level))
+			lsp.SetLabel("regions", strconv.Itoa(ls.Regions))
+			lsp.SetLabel("cells", strconv.Itoa(ls.Cells))
+			quadRegions.Add(int64(ls.Regions))
+			quadLeaves.Add(int64(ls.Leaves))
+			quadIters.Add(int64(ls.CGIterations))
+			// The span's observer-clock duration keeps the histogram
+			// deterministic under an injected fake clock (ls.Duration
+			// is wall time and would not be).
+			ob.Histogram("flow_quad_level_seconds").ObserveDuration(lsp.End())
+		},
+	})
 	if err != nil {
 		endStage(sp, "place", err)
 		return finish(nil, err)

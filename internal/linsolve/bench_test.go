@@ -1,0 +1,110 @@
+package linsolve
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSystem builds a 2-D Laplacian on a g×g grid with boundary
+// pulls — the same structure (SPD, ~5 nonzeros per row) the quadratic
+// placer's clique systems have.
+func benchSystem(g int) (*Sparse, []float64, []float64) {
+	n := g * g
+	a := NewSparse(n)
+	at := func(r, c int) int { return r*g + c }
+	for r := 0; r < g; r++ {
+		for c := 0; c < g; c++ {
+			i := at(r, c)
+			a.Add(i, i, 4)
+			if r > 0 {
+				a.Add(i, at(r-1, c), -1)
+			}
+			if r < g-1 {
+				a.Add(i, at(r+1, c), -1)
+			}
+			if c > 0 {
+				a.Add(i, at(r, c-1), -1)
+			}
+			if c < g-1 {
+				a.Add(i, at(r, c+1), -1)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	b1 := make([]float64, n)
+	b2 := make([]float64, n)
+	for i := range b1 {
+		b1[i] = rng.NormFloat64()
+		b2[i] = rng.NormFloat64()
+	}
+	return a, b1, b2
+}
+
+// BenchmarkMatVec measures the frozen CSR sweep.
+func BenchmarkMatVec(b *testing.B) {
+	a, x, _ := benchSystem(32)
+	y := make([]float64, a.N)
+	a.MatVecInto(y, x) // freeze outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MatVecInto(y, x)
+	}
+}
+
+// BenchmarkCG measures a full single-RHS solve into pooled scratch.
+func BenchmarkCG(b *testing.B) {
+	a, rhs, _ := benchSystem(32)
+	x := make([]float64, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := CGInto(x, a, rhs, 1e-8, 10000)
+		if !res.Converged {
+			b.Fatal("CG did not converge")
+		}
+	}
+}
+
+// BenchmarkCG2 measures the fused dual-RHS solve — the placer's
+// kernel shape, solving the x- and y-systems in one sweep of A per
+// iteration.
+func BenchmarkCG2(b *testing.B) {
+	a, b1, b2 := benchSystem(32)
+	x1 := make([]float64, a.N)
+	x2 := make([]float64, a.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, r2 := CG2Into(x1, x2, a, b1, b2, 1e-8, 10000)
+		if !r1.Converged || !r2.Converged {
+			b.Fatal("CG2 did not converge")
+		}
+	}
+}
+
+// BenchmarkFreeze measures builder reuse: Reset + rebuild + Freeze of
+// the full system, the per-region cost in the placer's loop.
+func BenchmarkFreeze(b *testing.B) {
+	g := 32
+	a, _, _ := benchSystem(g)
+	at := func(r, c int) int { return r*g + c }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset(g * g)
+		for r := 0; r < g; r++ {
+			for c := 0; c < g; c++ {
+				id := at(r, c)
+				a.Add(id, id, 4)
+				if r > 0 {
+					a.Add(id, at(r-1, c), -1)
+				}
+				if c > 0 {
+					a.Add(id, at(r, c-1), -1)
+				}
+			}
+		}
+		a.Freeze()
+	}
+}

@@ -1,14 +1,21 @@
 // Package linsolve provides the sparse and dense linear-system solvers
 // behind the course's "Ax=b" tool portal and the quadratic placer:
-// conjugate gradients, Jacobi and Gauss–Seidel iterations for sparse
-// symmetric-positive-definite systems, and Gaussian elimination with
-// partial pivoting for small dense systems.
+// conjugate gradients (single and fused dual-RHS), Jacobi and
+// Gauss–Seidel iterations for sparse symmetric-positive-definite
+// systems, and Gaussian elimination with partial pivoting for small
+// dense systems.
+//
+// A Sparse matrix is built through the map-based Add API and frozen
+// into a flat CSR image (Freeze) the first time a kernel needs it; all
+// solvers run on the frozen arrays, so their inner loops touch no maps
+// and allocate nothing once the scratch pool is warm. Every kernel
+// sums each row in ascending column order, so results are
+// bit-deterministic run to run (see DESIGN.md §12).
 package linsolve
 
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Sparse is a square sparse matrix in per-row coordinate form.
@@ -16,46 +23,55 @@ import (
 type Sparse struct {
 	N    int
 	rows []map[int]float64
-	// cols caches each row's column indices in ascending order; nil
-	// after any Add. The solvers iterate rows through it so their
-	// floating-point summation order — and hence every result bit —
-	// is fixed, not subject to map iteration order. (CG feeding the
-	// quadratic placer was visibly nondeterministic across runs
-	// before: tiny sum reorderings flipped legalization ties and
-	// changed downstream routing instances.)
-	cols [][]int
+	// frz caches the CSR image of the matrix; frozen marks it valid.
+	// Any Add or Reset invalidates the image (the arrays are kept and
+	// reused by the next Freeze). The CSR's ascending-column order is
+	// what fixes the solvers' floating-point summation order — and
+	// hence every result bit — run to run. (CG feeding the quadratic
+	// placer was visibly nondeterministic across runs before: tiny
+	// map-order sum reorderings flipped legalization ties and changed
+	// downstream routing instances.)
+	frz    CSR
+	frozen bool
 }
 
 // NewSparse returns an n×n zero matrix.
 func NewSparse(n int) *Sparse {
-	rows := make([]map[int]float64, n)
-	for i := range rows {
-		rows[i] = map[int]float64{}
+	a := &Sparse{}
+	a.Reset(n)
+	return a
+}
+
+// Reset clears the matrix to n×n zero, reusing the row maps and the
+// frozen-image buffers from previous use — the builder-recycling hook
+// the quadratic placer leans on to rebuild a system per region without
+// reallocating (DESIGN.md §12).
+func (a *Sparse) Reset(n int) {
+	if cap(a.rows) >= n {
+		a.rows = a.rows[:n]
+		for i := range a.rows {
+			clear(a.rows[i])
+		}
+	} else {
+		rows := make([]map[int]float64, n)
+		copy(rows, a.rows)
+		for i, r := range rows {
+			if r == nil {
+				rows[i] = map[int]float64{}
+			} else {
+				clear(r)
+			}
+		}
+		a.rows = rows
 	}
-	return &Sparse{N: n, rows: rows}
+	a.N = n
+	a.frozen = false
 }
 
 // Add accumulates v into entry (i, j).
 func (a *Sparse) Add(i, j int, v float64) {
 	a.rows[i][j] += v
-	a.cols = nil
-}
-
-// sortedCols returns the per-row ascending column indices, rebuilding
-// the cache if the matrix changed since the last solve.
-func (a *Sparse) sortedCols() [][]int {
-	if a.cols == nil {
-		a.cols = make([][]int, a.N)
-		for i, row := range a.rows {
-			c := make([]int, 0, len(row))
-			for j := range row {
-				c = append(c, j)
-			}
-			sort.Ints(c)
-			a.cols[i] = c
-		}
-	}
-	return a.cols
+	a.frozen = false
 }
 
 // At returns entry (i, j).
@@ -73,14 +89,7 @@ func (a *Sparse) NNZ() int {
 // MatVec computes y = A·x (deterministic summation order).
 func (a *Sparse) MatVec(x []float64) []float64 {
 	y := make([]float64, a.N)
-	cols := a.sortedCols()
-	for i, row := range a.rows {
-		s := 0.0
-		for _, j := range cols[i] {
-			s += row[j] * x[j]
-		}
-		y[i] = s
-	}
+	a.MatVecInto(y, x)
 	return y
 }
 
@@ -104,83 +113,64 @@ func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
 // CG solves A·x = b for symmetric positive-definite A by conjugate
 // gradients, starting from x = 0.
 func CG(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
-	n := a.N
-	x := make([]float64, n)
-	r := make([]float64, n)
-	copy(r, b)
-	p := make([]float64, n)
-	copy(p, b)
-	rs := dot(r, r)
-	bn := norm(b)
-	if bn == 0 {
-		return x, Result{Converged: true}
-	}
-	var res Result
-	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
-		if math.Sqrt(rs)/bn < tol {
-			res.Converged = true
-			break
-		}
-		ap := a.MatVec(p)
-		alpha := rs / dot(p, ap)
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		rsNew := dot(r, r)
-		beta := rsNew / rs
-		for i := range p {
-			p[i] = r[i] + beta*p[i]
-		}
-		rs = rsNew
-	}
-	res.Residual = math.Sqrt(rs) / bn
-	if res.Residual < tol {
-		res.Converged = true
-	}
+	x := make([]float64, a.N)
+	res := CGInto(x, a, b, tol, maxIter)
 	return x, res
 }
 
 // Jacobi solves A·x = b by Jacobi iteration (diagonally dominant A).
+// A zero diagonal entry poisons the iterate with ±Inf/NaN; the solver
+// then reports Converged == false rather than panicking.
 func Jacobi(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
 	n := a.N
 	x := make([]float64, n)
-	next := make([]float64, n)
 	bn := norm(b)
 	if bn == 0 {
 		return x, Result{Converged: true}
 	}
-	cols := a.sortedCols()
+	f := a.Freeze()
+	sc := acquireCGScratch(n, false)
+	defer cgScratchPool.Put(sc)
+	// Iterate entirely in pooled buffers, then copy the final iterate
+	// into the caller-visible x — the returned slice must never alias
+	// pool memory.
+	cur, next, r := sc.r1, sc.p1, sc.ap1
+	for i := range cur {
+		cur[i] = 0
+	}
 	var res Result
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
-		for i, row := range a.rows {
+		for i := 0; i < n; i++ {
 			s := b[i]
 			d := 0.0
-			for _, j := range cols[i] {
-				v := row[j]
+			for k := f.RowPtr[i]; k < f.RowPtr[i+1]; k++ {
+				j := int(f.ColIdx[k])
+				v := f.Val[k]
 				if j == i {
 					d = v
 					continue
 				}
-				s -= v * x[j]
+				s -= v * cur[j]
 			}
 			next[i] = s / d
 		}
-		x, next = next, x
-		r := a.MatVec(x)
+		cur, next = next, cur
+		f.MatVecInto(r, cur)
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
 		res.Residual = norm(r) / bn
 		if res.Residual < tol {
 			res.Converged = true
-			return x, res
+			break
 		}
 	}
+	copy(x, cur)
 	return x, res
 }
 
-// GaussSeidel solves A·x = b by Gauss–Seidel iteration.
+// GaussSeidel solves A·x = b by Gauss–Seidel iteration. Like Jacobi,
+// a zero diagonal yields Converged == false, never a panic.
 func GaussSeidel(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
 	n := a.N
 	x := make([]float64, n)
@@ -188,14 +178,18 @@ func GaussSeidel(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, R
 	if bn == 0 {
 		return x, Result{Converged: true}
 	}
-	cols := a.sortedCols()
+	f := a.Freeze()
+	sc := acquireCGScratch(n, false)
+	defer cgScratchPool.Put(sc)
+	r := sc.r1
 	var res Result
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
-		for i, row := range a.rows {
+		for i := 0; i < n; i++ {
 			s := b[i]
 			d := 0.0
-			for _, j := range cols[i] {
-				v := row[j]
+			for k := f.RowPtr[i]; k < f.RowPtr[i+1]; k++ {
+				j := int(f.ColIdx[k])
+				v := f.Val[k]
 				if j == i {
 					d = v
 					continue
@@ -204,7 +198,7 @@ func GaussSeidel(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, R
 			}
 			x[i] = s / d
 		}
-		r := a.MatVec(x)
+		f.MatVecInto(r, x)
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
@@ -265,17 +259,14 @@ func SolveDense(a [][]float64, b []float64) ([]float64, error) {
 }
 
 // Entries returns the sorted (i, j, v) triplets — used by the axb
-// portal's echo output.
+// portal's echo output. It reads the frozen CSR image (rebuilding it
+// if stale), so repeated calls re-sort nothing.
 func (a *Sparse) Entries() [][3]float64 {
-	var out [][3]float64
-	for i, row := range a.rows {
-		var cols []int
-		for j := range row {
-			cols = append(cols, j)
-		}
-		sort.Ints(cols)
-		for _, j := range cols {
-			out = append(out, [3]float64{float64(i), float64(j), row[j]})
+	f := a.Freeze()
+	out := make([][3]float64, 0, len(f.Val))
+	for i := 0; i < f.N; i++ {
+		for k := f.RowPtr[i]; k < f.RowPtr[i+1]; k++ {
+			out = append(out, [3]float64{float64(i), float64(f.ColIdx[k]), f.Val[k]})
 		}
 	}
 	return out

@@ -1,0 +1,70 @@
+package techmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSubject builds a seeded random NAND2/INV DAG big enough that
+// Map's per-node matching dominates: ~20 inputs and ~600 internal
+// nodes with multi-fanout reconvergence, 8 roots.
+func benchSubject(seed int64) *Subject {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSubject()
+	var pool []int
+	for i := 0; i < 20; i++ {
+		pool = append(pool, s.Input(string(rune('a'+i%26))+string(rune('0'+i/26))))
+	}
+	for len(s.Nodes) < 600 {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		var id int
+		if rng.Intn(4) == 0 {
+			id = s.Inv(a)
+		} else if a != b {
+			id = s.Nand(a, b)
+		} else {
+			continue
+		}
+		pool = append(pool, id)
+	}
+	for i := 0; i < 8; i++ {
+		s.Roots[string(rune('z'-i))] = pool[len(pool)-1-i]
+	}
+	s.Freeze()
+	return s
+}
+
+// BenchmarkTechmapMap measures the tree-covering hot path the ROADMAP
+// names (per-node DP with pattern matching over the full library).
+func BenchmarkTechmapMap(b *testing.B) {
+	s := benchSubject(7)
+	lib := StandardLibrary()
+	b.ReportAllocs()
+	var area float64
+	for i := 0; i < b.N; i++ {
+		res, err := Map(s, lib, MinArea)
+		if err != nil {
+			b.Fatal(err)
+		}
+		area = res.Area
+	}
+	b.ReportMetric(area, "area")
+}
+
+// BenchmarkTechmapMapDelay exercises the MinDelay cost path over the
+// same subject.
+func BenchmarkTechmapMapDelay(b *testing.B) {
+	s := benchSubject(7)
+	lib := StandardLibrary()
+	b.ReportAllocs()
+	var delay float64
+	for i := 0; i < b.N; i++ {
+		res, err := Map(s, lib, MinDelay)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delay = res.Delay
+	}
+	b.ReportMetric(delay, "delay")
+}

@@ -171,6 +171,48 @@ func (c *Checker) CheckSPD(si *SPDInstance) []Mismatch {
 		}
 	}
 
+	// CSR kernel vs a dense sweep that sums in the same ascending-column
+	// order: the frozen image must reproduce A·x bit-for-bit.
+	xt := make([]float64, si.N)
+	for i := range xt {
+		xt[i] = float64((i%7)-3) / 8
+	}
+	yc := make([]float64, si.N)
+	sp.MatVecInto(yc, xt)
+	for i := 0; i < si.N; i++ {
+		s := 0.0
+		for j := 0; j < si.N; j++ {
+			if si.A[i][j] != 0 {
+				s += si.A[i][j] * xt[j]
+			}
+		}
+		if s != yc[i] {
+			bad("CSR MatVec row %d = %v, ascending-order dense sweep = %v", i, yc[i], s)
+			break
+		}
+	}
+
+	// Fused dual-RHS CG vs two standalone runs: bit-identical solutions
+	// and identical Result ledgers, with b and a shifted copy as the two
+	// right-hand sides.
+	b2 := make([]float64, si.N)
+	for i := range b2 {
+		b2[i] = si.B[(i+1)%si.N] - 0.5
+	}
+	x1, r1 := linsolve.CG(sp, si.B, 1e-10, 10000)
+	x2, r2 := linsolve.CG(sp, b2, 1e-10, 10000)
+	y1, y2, q1, q2 := linsolve.CG2(sp, si.B, b2, 1e-10, 10000)
+	if r1 != q1 || r2 != q2 {
+		bad("CG2 results (%+v, %+v) differ from standalone CG (%+v, %+v)", q1, q2, r1, r2)
+	}
+	for i := 0; i < si.N; i++ {
+		if x1[i] != y1[i] || x2[i] != y2[i] {
+			bad("CG2 x[%d] = (%v, %v) differs bitwise from standalone CG (%v, %v)",
+				i, y1[i], y2[i], x1[i], x2[i])
+			break
+		}
+	}
+
 	c.note("spd", si.Seed, out)
 	return out
 }

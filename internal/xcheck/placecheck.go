@@ -229,6 +229,21 @@ func (c *Checker) CheckPlace(pi *PlaceInstance) []Mismatch {
 		}
 	}
 
+	// The fused dual-RHS solve over the same system — the placer's
+	// actual kernel shape (x- and y-systems share A) — must reproduce
+	// both standalone CG runs bitwise.
+	cg2x, cg2y, res2X, res2Y := linsolve.CG2(sp, bx, by, 1e-10, 10000)
+	if res2X != resX || res2Y != resY {
+		bad("CG2 results (%+v, %+v) differ from standalone CG (%+v, %+v)", res2X, res2Y, resX, resY)
+	}
+	for i := 0; i < p.NCells; i++ {
+		if cg2x[i] != cgx[i] || cg2y[i] != cgy[i] {
+			bad("CG2 cell %d at (%v, %v) differs bitwise from standalone CG (%v, %v)",
+				i, cg2x[i], cg2y[i], cgx[i], cgy[i])
+			break
+		}
+	}
+
 	// The unconstrained optimum lies in the convex hull of the pads,
 	// hence inside the region.
 	for i := 0; i < p.NCells; i++ {
@@ -258,6 +273,23 @@ func (c *Checker) CheckPlace(pi *PlaceInstance) []Mismatch {
 	}
 	if hp := p.HPWL(pl); math.IsNaN(hp) || math.IsInf(hp, 0) || hp < 0 {
 		bad("HPWL of the placement is %g", hp)
+	}
+
+	// Worker-count invariance: the level-parallel placer must produce a
+	// byte-identical placement on any worker count (DESIGN.md §12).
+	for _, workers := range []int{2, 4} {
+		plw, err := place.Quadratic(p, place.QuadraticOpts{Workers: workers})
+		if err != nil {
+			bad("place.Quadratic with %d workers failed: %v", workers, err)
+			continue
+		}
+		for i := 0; i < p.NCells; i++ {
+			if plw.X[i] != pl.X[i] || plw.Y[i] != pl.Y[i] {
+				bad("Workers=%d places cell %d at (%v, %v); default run has (%v, %v)",
+					workers, i, plw.X[i], plw.Y[i], pl.X[i], pl.Y[i])
+				break
+			}
+		}
 	}
 
 	c.note("place", pi.Seed, out)
