@@ -25,7 +25,7 @@ bench:
 # real benchtime and parse them into BENCH_FILE (see EXPERIMENTS.md
 # for the format). Compare against the committed BENCH_PR*.json files
 # to see drift across PRs.
-BENCH_FILE ?= BENCH_PR9.json
+BENCH_FILE ?= BENCH_PR10.json
 BENCH_PKGS ?= ./internal/obs ./internal/portal ./internal/route ./internal/mooc ./internal/place ./internal/linsolve ./internal/techmap
 BENCH_TIME ?= 0.5s
 bench-record:
@@ -57,16 +57,18 @@ fuzz:
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzRoute$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzPRoute -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/xcheck -run=^$$ -fuzz=FuzzPAnneal -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/portal -run=^$$ -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME)
 
 # Regenerate testdata/xcheck from the pinned master seed.
 corpus:
 	$(GO) run ./cmd/xcheckgen -out testdata/xcheck
 
 # Long seeded chaos sweeps over the portal job pool (outside the
-# default `make check` budget): the mixed-fault storm plus the
-# hot-user fairness storm against the async ticket lifecycle.
+# default `make check` budget): the mixed-fault storm, the hot-user
+# fairness storm against the async ticket lifecycle, and the restart
+# chaos sweep that crashes the ticket journal mid-record and recovers.
 # Override the seed count with CHAOS_SEEDS=n.
 CHAOS_SEEDS ?= 20
 chaos:
 	PORTAL_CHAOS=1 PORTAL_CHAOS_SEEDS=$(CHAOS_SEEDS) \
-		$(GO) test -race ./internal/portal -run 'TestChaosSweep|TestChaosHotUserStormSweep' -count=1 -v -timeout 20m
+		$(GO) test -race ./internal/portal -run 'TestChaosSweep|TestChaosHotUserStormSweep|TestRestartChaosSweep' -count=1 -v -timeout 20m

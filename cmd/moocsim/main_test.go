@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -57,6 +58,51 @@ func TestMoocsimFairnessDrill(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("fairness report missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestMoocsimRecoveryDrill(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-fig", "recovery", "-seed", "7"}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"portal recovery drill",
+		"journal cut mid-record",
+		"journal wedged after",
+		"discarded",
+		"torn tail bytes",
+		"dispositions:",
+		"pool_journal_records_total{kind=\"admit\"}",
+		"pool_journal_bytes_total",
+		"pool_recovery_replayed_total{disposition=\"rerun\"}",
+		"ticket ledger: balanced across the crash",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("recovery report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMoocsimRecoveryJournalFile(t *testing.T) {
+	path := t.TempDir() + "/drill.wal"
+	var out, errb strings.Builder
+	code := run([]string{"-fig", "recovery", "-seed", "3", "-journal", path},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errb.String())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("second-life journal file is empty")
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Errorf("report does not name the journal file:\n%s", out.String())
 	}
 }
 

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"reflect"
 	"time"
 
 	"vlsicad/internal/fault"
@@ -29,8 +31,22 @@ func main() {
 		"serve live telemetry (/metrics /snapshot /healthz /readyz /debug/spans) on this address")
 	hold := flag.Duration("hold", 0,
 		"keep the portal (and telemetry endpoint) alive this long after the demo finishes")
+	journalPath := flag.String("journal", "",
+		"write-ahead ticket journal file; the demo recovers a warm twin pool from it at the end")
 	flag.Parse()
 
+	// With -journal the pool is crash-safe: every ticket transition is
+	// framed, checksummed, and synced to the file before the pool acts
+	// on it, and RecoverPool can rebuild the warm state from the log.
+	var jr *portal.Journal
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		jr = portal.NewJournal(f, portal.JournalOpts{CompactEvery: 64})
+	}
 	ob := obs.NewObserver(nil)
 	p := portal.NewPool(portal.PoolConfig{
 		Workers:    4,
@@ -38,6 +54,7 @@ func main() {
 		Timeout:    2 * time.Second,
 		Retry:      portal.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, JitterFrac: 0.5},
 		Breaker:    portal.BreakerConfig{FailureThreshold: 5, Cooldown: 100 * time.Millisecond},
+		Journal:    jr,
 	})
 	defer p.Close()
 	p.SetObserver(ob)
@@ -165,6 +182,35 @@ func main() {
 		}
 	}
 
+	if *journalPath != "" {
+		// Recovery demo: reopen the log this very process has been
+		// appending to and rebuild a warm twin pool — same per-user
+		// history, same ledger, nothing re-run (every ticket above
+		// already reached a terminal state).
+		recs, jbytes := p.Journal().Stats()
+		fmt.Printf("\n=== journal recovery demo ===\n")
+		fmt.Printf("journal %s: %d records, %d bytes synced\n", *journalPath, recs, jbytes)
+		data, err := os.ReadFile(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		twin, rep, err := portal.RecoverPool(portal.PoolConfig{
+			Workers: 4, QueueDepth: 16,
+		}, bytes.NewReader(data), portal.KBDDTool(), portal.EspressoTool(),
+			portal.MiniSATTool(), portal.SISTool(), portal.AxbTool())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer twin.Close()
+		fmt.Printf("recovered twin: %d records replayed, %d history entries for %d users, requeued %d, rerun %d\n",
+			rep.Records, rep.HistoryEntries, rep.HistoryUsers, rep.Requeued, rep.Rerun)
+		if sameHistory(twin.History(user), p.History(user)) {
+			fmt.Printf("history for %s replayed identically\n", user)
+		} else {
+			fmt.Printf("history for %s DIVERGED after replay\n", user)
+		}
+	}
+
 	fmt.Println("\n=== portal telemetry ===")
 	ob.Snapshot().WriteText(os.Stdout)
 
@@ -172,6 +218,26 @@ func main() {
 		fmt.Printf("holding for %v (scrape away)\n", *hold)
 		time.Sleep(*hold)
 	}
+}
+
+// sameHistory compares two history pages field by field. The journal
+// stores timestamps as instants, so replayed entries come back in UTC;
+// time.Time.Equal is the right comparison, not DeepEqual.
+func sameHistory(a, b []portal.JobResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if !x.When.Equal(y.When) {
+			return false
+		}
+		x.When, y.When = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(x, y) {
+			return false
+		}
+	}
+	return true
 }
 
 // blocker holds its worker until released (or cancelled) — used to

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrCrashed marks writes attempted after a CrashWriter's byte budget
+// ran out — the point where the simulated process died.
+var ErrCrashed = errors.New("fault: simulated crash: write budget exhausted")
+
+// CrashWriter simulates a process dying mid-write: it passes bytes
+// through to the underlying writer until a fixed budget is exhausted,
+// then cuts the write short — possibly in the middle of a journal
+// record, which is exactly the torn tail a real crash leaves — and
+// fails every subsequent Write and Sync with ErrCrashed. Restart
+// drills sweep the budget over a recorded workload's byte positions so
+// the crash point lands inside every frame of the ticket journal at
+// least once. It implements portal.WriteSyncer and is safe for
+// concurrent use.
+type CrashWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	budget  int
+	crashed bool
+}
+
+// NewCrashWriter wraps w with a crash after exactly budget bytes have
+// been written through. A budget ≤ 0 crashes on the first write.
+func NewCrashWriter(w io.Writer, budget int) *CrashWriter {
+	return &CrashWriter{w: w, budget: budget}
+}
+
+// Write passes p through while budget remains; the write that crosses
+// the budget is truncated at the boundary (the torn record) and
+// returns ErrCrashed with the short count, per io.Writer contract.
+func (cw *CrashWriter) Write(p []byte) (int, error) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.crashed {
+		return 0, ErrCrashed
+	}
+	if len(p) <= cw.budget {
+		n, err := cw.w.Write(p)
+		cw.budget -= n
+		return n, err
+	}
+	n := cw.budget
+	cw.budget = 0
+	cw.crashed = true
+	if n > 0 {
+		var err error
+		n, err = cw.w.Write(p[:n])
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, ErrCrashed
+}
+
+// Sync succeeds while the writer is alive and fails with ErrCrashed
+// after the budget ran out; if the underlying writer also syncs, that
+// is forwarded first.
+func (cw *CrashWriter) Sync() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.crashed {
+		return ErrCrashed
+	}
+	if s, ok := cw.w.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Crashed reports whether the budget has run out.
+func (cw *CrashWriter) Crashed() bool {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.crashed
+}

@@ -53,7 +53,14 @@ const (
 	// when interrupted — the pool's deadline machinery must terminate
 	// it without having to abandon its goroutine.
 	Stall
-	numClasses = int(Stall) + 1
+	// Crash models the whole process dying mid-job: inside a single
+	// test process it behaves like Panic (the closest in-process
+	// analogue), but it is drawn from its own probability so crash
+	// drills can be planned independently of ordinary tool panics. The
+	// durable half of a crash — a journal write cut mid-record — is
+	// injected separately with CrashWriter.
+	Crash
+	numClasses = int(Crash) + 1
 )
 
 func (c Class) String() string {
@@ -72,17 +79,20 @@ func (c Class) String() string {
 		return "garbage"
 	case Stall:
 		return "stall"
+	case Crash:
+		return "crash"
 	}
 	return "unknown"
 }
 
 // Config sets the per-call probability of each fault class; the
 // remainder is None. Probabilities that sum past 1 are taken in the
-// order Panic, Hang, Transient, Slow, Garbage, Stall. (Stall sits
-// last so configurations that leave it zero draw the identical plan
-// they did before the class existed — pinned fault plans stay valid.)
+// order Panic, Hang, Transient, Slow, Garbage, Stall, Crash. (New
+// classes are always appended, so configurations that leave them zero
+// draw the identical plan they did before the class existed — pinned
+// fault plans stay valid.)
 type Config struct {
-	Panic, Hang, Transient, Slow, Garbage, Stall float64
+	Panic, Hang, Transient, Slow, Garbage, Stall, Crash float64
 	// SlowDelay is the injected latency for Slow calls (default 1ms).
 	SlowDelay time.Duration
 }
@@ -194,6 +204,7 @@ func (in *Injector) ClassAt(n uint64) Class {
 		{in.cfg.Slow, Slow},
 		{in.cfg.Garbage, Garbage},
 		{in.cfg.Stall, Stall},
+		{in.cfg.Crash, Crash},
 	} {
 		if u < th.p {
 			return th.c
@@ -215,6 +226,8 @@ func (in *Injector) Run(input string, cancel <-chan struct{}) (string, error) {
 	switch c {
 	case Panic:
 		panic(fmt.Sprintf("fault: injected panic (call %d, seed %d)", n, in.seed))
+	case Crash:
+		panic(fmt.Sprintf("fault: injected crash (call %d, seed %d)", n, in.seed))
 	case Hang:
 		// Hang-past-cancel: ignore the cancel channel entirely. The
 		// portal must abandon us; we unblock only on ReleaseHung.

@@ -83,6 +83,57 @@ func BenchmarkCG2(b *testing.B) {
 	}
 }
 
+// BenchmarkJacobiInto measures a warm Jacobi solve into a reused
+// solution vector — 0 allocs/op once the scratch pool is primed.
+func BenchmarkJacobiInto(b *testing.B) {
+	a, rhs, _ := benchSystem(16)
+	x := make([]float64, a.N)
+	if res := JacobiInto(x, a, rhs, 1e-6, 100000); !res.Converged {
+		b.Fatal("Jacobi did not converge") // warm pool + freeze outside the loop
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := JacobiInto(x, a, rhs, 1e-6, 100000); !res.Converged {
+			b.Fatal("Jacobi did not converge")
+		}
+	}
+}
+
+// BenchmarkGaussSeidelInto measures the warm in-place Gauss–Seidel
+// solve — 0 allocs/op once the scratch pool is primed.
+func BenchmarkGaussSeidelInto(b *testing.B) {
+	a, rhs, _ := benchSystem(16)
+	x := make([]float64, a.N)
+	if res := GaussSeidelInto(x, a, rhs, 1e-6, 100000); !res.Converged {
+		b.Fatal("Gauss-Seidel did not converge")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := GaussSeidelInto(x, a, rhs, 1e-6, 100000); !res.Converged {
+			b.Fatal("Gauss-Seidel did not converge")
+		}
+	}
+}
+
+// TestIterativeIntoAllocFree locks the warm-path contract the axb
+// portal leans on: with the frozen image cached and the scratch pool
+// primed, the Into solvers allocate nothing per solve.
+func TestIterativeIntoAllocFree(t *testing.T) {
+	a, rhs, _ := benchSystem(8)
+	x := make([]float64, a.N)
+	for name, solve := range map[string]func(){
+		"JacobiInto":      func() { JacobiInto(x, a, rhs, 1e-6, 100000) },
+		"GaussSeidelInto": func() { GaussSeidelInto(x, a, rhs, 1e-6, 100000) },
+	} {
+		solve() // prime freeze + pool
+		if n := testing.AllocsPerRun(100, solve); n != 0 {
+			t.Errorf("%s: %v allocs/op warm, want 0", name, n)
+		}
+	}
+}
+
 // BenchmarkFreeze measures builder reuse: Reset + rebuild + Freeze of
 // the full system, the per-region cost in the placer's loop.
 func BenchmarkFreeze(b *testing.B) {

@@ -122,18 +122,28 @@ func CG(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
 // A zero diagonal entry poisons the iterate with ±Inf/NaN; the solver
 // then reports Converged == false rather than panicking.
 func Jacobi(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
+	x := make([]float64, a.N)
+	return x, JacobiInto(x, a, b, tol, maxIter)
+}
+
+// JacobiInto solves A·x = b by Jacobi iteration into a caller-provided
+// solution vector, starting from x = 0 and allocating nothing once the
+// scratch pool is warm. len(x) must equal a.N. Results are
+// bit-identical to Jacobi.
+func JacobiInto(x []float64, a *Sparse, b []float64, tol float64, maxIter int) Result {
 	n := a.N
-	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0
+	}
 	bn := norm(b)
 	if bn == 0 {
-		return x, Result{Converged: true}
+		return Result{Converged: true}
 	}
 	f := a.Freeze()
 	sc := acquireCGScratch(n, false)
 	defer cgScratchPool.Put(sc)
 	// Iterate entirely in pooled buffers, then copy the final iterate
-	// into the caller-visible x — the returned slice must never alias
-	// pool memory.
+	// into the caller-visible x — x must never alias pool memory.
 	cur, next, r := sc.r1, sc.p1, sc.ap1
 	for i := range cur {
 		cur[i] = 0
@@ -166,17 +176,28 @@ func Jacobi(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result
 		}
 	}
 	copy(x, cur)
-	return x, res
+	return res
 }
 
 // GaussSeidel solves A·x = b by Gauss–Seidel iteration. Like Jacobi,
 // a zero diagonal yields Converged == false, never a panic.
 func GaussSeidel(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, Result) {
+	x := make([]float64, a.N)
+	return x, GaussSeidelInto(x, a, b, tol, maxIter)
+}
+
+// GaussSeidelInto solves A·x = b by Gauss–Seidel iteration into a
+// caller-provided solution vector, starting from x = 0 and allocating
+// nothing once the scratch pool is warm. len(x) must equal a.N.
+// Results are bit-identical to GaussSeidel.
+func GaussSeidelInto(x []float64, a *Sparse, b []float64, tol float64, maxIter int) Result {
 	n := a.N
-	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0
+	}
 	bn := norm(b)
 	if bn == 0 {
-		return x, Result{Converged: true}
+		return Result{Converged: true}
 	}
 	f := a.Freeze()
 	sc := acquireCGScratch(n, false)
@@ -205,10 +226,10 @@ func GaussSeidel(a *Sparse, b []float64, tol float64, maxIter int) ([]float64, R
 		res.Residual = norm(r) / bn
 		if res.Residual < tol {
 			res.Converged = true
-			return x, res
+			return res
 		}
 	}
-	return x, res
+	return res
 }
 
 // SolveDense solves a dense system by Gaussian elimination with

@@ -92,6 +92,42 @@ func TestCGZeroRHS(t *testing.T) {
 	}
 }
 
+// TestIntoFormsMatchWrappers locks the delegation contract: the Into
+// solvers must reproduce the allocating wrappers bit-for-bit, even
+// when handed a dirty solution buffer (they start from x = 0).
+func TestIntoFormsMatchWrappers(t *testing.T) {
+	a, b := laplacian1D(20)
+	for name, pair := range map[string]struct {
+		wrap func(*Sparse, []float64, float64, int) ([]float64, Result)
+		into func([]float64, *Sparse, []float64, float64, int) Result
+	}{
+		"jacobi":       {Jacobi, JacobiInto},
+		"gauss-seidel": {GaussSeidel, GaussSeidelInto},
+	} {
+		want, wres := pair.wrap(a, b, 1e-8, 20000)
+		got := make([]float64, a.N)
+		for i := range got {
+			got[i] = math.NaN() // a dirty buffer must not leak into the solve
+		}
+		gres := pair.into(got, a, b, 1e-8, 20000)
+		if wres != gres {
+			t.Fatalf("%s: results differ: %+v vs %+v", name, wres, gres)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: solution differs at %d: %v vs %v", name, i, want[i], got[i])
+			}
+		}
+	}
+	// Zero RHS short-circuits but must still clear the caller's buffer.
+	zero := make([]float64, a.N)
+	x := []float64{1, 2, 3}
+	res := JacobiInto(x[:3], NewSparse(3), zero[:3], 1e-8, 10)
+	if !res.Converged || x[0] != 0 || x[1] != 0 || x[2] != 0 {
+		t.Fatalf("zero-RHS Into: %+v, x = %v", res, x)
+	}
+}
+
 func TestSolveDense(t *testing.T) {
 	a := [][]float64{{2, 1}, {1, 3}}
 	b := []float64{3, 5}

@@ -13,8 +13,8 @@ import (
 // name+":"+tool string-concat convention the flat registry forced.
 //
 // Hot-path contract: With on an existing child is lock-free sync.Map
-// reads (no allocation for one- and two-label families — locked in by
-// TestWithAllocFree), and the
+// reads (no allocation for one-, two-, and three-label families —
+// locked in by TestWithAllocFree), and the
 // returned child is a plain *Counter/*Gauge/*Histogram — callers on
 // genuinely hot paths (the pool worker loop) resolve children once at
 // registration time and keep the handle, paying exactly the flat
@@ -51,6 +51,10 @@ type vecCore struct {
 	// two-label With hit needs no strings.Join — it is repaired from m
 	// on every miss, so it can never disagree with it.
 	idx2 sync.Map
+	// idx3 extends the same scheme one level for three-label families
+	// (first value -> second value -> third value -> child) — the
+	// recovery counters' {kind}/{disposition} series ride this path.
+	idx3 sync.Map
 }
 
 // load2 resolves a two-value combination through the nested index —
@@ -71,6 +75,32 @@ func (v *vecCore) store2(v1, v2 string, child any) {
 		inner, _ = v.idx2.LoadOrStore(v1, &sync.Map{})
 	}
 	inner.(*sync.Map).LoadOrStore(v2, child)
+}
+
+// load3 resolves a three-value combination through the nested index.
+func (v *vecCore) load3(v1, v2, v3 string) (any, bool) {
+	mid, ok := v.idx3.Load(v1)
+	if !ok {
+		return nil, false
+	}
+	inner, ok := mid.(*sync.Map).Load(v2)
+	if !ok {
+		return nil, false
+	}
+	return inner.(*sync.Map).Load(v3)
+}
+
+// store3 indexes the canonical child under its three values.
+func (v *vecCore) store3(v1, v2, v3 string, child any) {
+	mid, ok := v.idx3.Load(v1)
+	if !ok {
+		mid, _ = v.idx3.LoadOrStore(v1, &sync.Map{})
+	}
+	inner, ok := mid.(*sync.Map).Load(v2)
+	if !ok {
+		inner, _ = mid.(*sync.Map).LoadOrStore(v2, &sync.Map{})
+	}
+	inner.(*sync.Map).LoadOrStore(v3, child)
 }
 
 // checkArity panics when With is called with the wrong number of
@@ -130,6 +160,14 @@ func (v *CounterVec) With(values ...string) *Counter {
 		v.store2(values[0], values[1], c)
 		return c.(*Counter)
 	}
+	if len(values) == 3 {
+		if c, ok := v.load3(values[0], values[1], values[2]); ok {
+			return c.(*Counter)
+		}
+		c, _ := v.m.LoadOrStore(childKey(values), &Counter{})
+		v.store3(values[0], values[1], values[2], c)
+		return c.(*Counter)
+	}
 	k := childKey(values)
 	if c, ok := v.m.Load(k); ok {
 		return c.(*Counter)
@@ -154,6 +192,14 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 		}
 		g, _ := v.m.LoadOrStore(childKey(values), &Gauge{})
 		v.store2(values[0], values[1], g)
+		return g.(*Gauge)
+	}
+	if len(values) == 3 {
+		if g, ok := v.load3(values[0], values[1], values[2]); ok {
+			return g.(*Gauge)
+		}
+		g, _ := v.m.LoadOrStore(childKey(values), &Gauge{})
+		v.store3(values[0], values[1], values[2], g)
 		return g.(*Gauge)
 	}
 	k := childKey(values)
@@ -184,6 +230,14 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		}
 		h, _ := v.m.LoadOrStore(childKey(values), newHistogram(v.bounds))
 		v.store2(values[0], values[1], h)
+		return h.(*Histogram)
+	}
+	if len(values) == 3 {
+		if h, ok := v.load3(values[0], values[1], values[2]); ok {
+			return h.(*Histogram)
+		}
+		h, _ := v.m.LoadOrStore(childKey(values), newHistogram(v.bounds))
+		v.store3(values[0], values[1], values[2], h)
 		return h.(*Histogram)
 	}
 	k := childKey(values)

@@ -34,22 +34,37 @@ func BenchmarkCounterVecWithIncTwoLabels(b *testing.B) {
 	}
 }
 
+func BenchmarkCounterVecWithIncThreeLabels(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_replay_total", "tool", "user", "reason")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("kbdd", "alice", "queue").Inc()
+	}
+}
+
 // TestWithAllocFree locks the hot-path contract as a hard test, not
 // just a benchmark number: resolving an existing child through With
-// must not allocate for one- and two-label families of any kind. A
-// regression here reappears in every pool-worker loop that doesn't
-// cache its child handle.
+// must not allocate for one-, two-, and three-label families of any
+// kind. A regression here reappears in every pool-worker loop that
+// doesn't cache its child handle.
 func TestWithAllocFree(t *testing.T) {
 	r := NewRegistry()
 	cv1 := r.CounterVec("alloc_c1_total", "tool")
 	cv2 := r.CounterVec("alloc_c2_total", "tool", "reason")
 	gv2 := r.GaugeVec("alloc_g2", "tool", "reason")
 	hv2 := r.HistogramVec("alloc_h2_seconds", []string{"tool", "reason"})
+	cv3 := r.CounterVec("alloc_c3_total", "tool", "user", "reason")
+	gv3 := r.GaugeVec("alloc_g3", "tool", "user", "reason")
+	hv3 := r.HistogramVec("alloc_h3_seconds", []string{"tool", "user", "reason"})
 	// Create the children outside the measured region.
 	cv1.With("kbdd").Inc()
 	cv2.With("kbdd", "queue").Inc()
 	gv2.With("kbdd", "queue").Set(1)
 	hv2.With("kbdd", "queue").Observe(0.001)
+	cv3.With("kbdd", "alice", "queue").Inc()
+	gv3.With("kbdd", "alice", "queue").Set(1)
+	hv3.With("kbdd", "alice", "queue").Observe(0.001)
 	cases := []struct {
 		name string
 		fn   func()
@@ -58,6 +73,9 @@ func TestWithAllocFree(t *testing.T) {
 		{"CounterVec/2", func() { cv2.With("kbdd", "queue").Inc() }},
 		{"GaugeVec/2", func() { gv2.With("kbdd", "queue").Set(2) }},
 		{"HistogramVec/2", func() { hv2.With("kbdd", "queue").Observe(0.002) }},
+		{"CounterVec/3", func() { cv3.With("kbdd", "alice", "queue").Inc() }},
+		{"GaugeVec/3", func() { gv3.With("kbdd", "alice", "queue").Set(2) }},
+		{"HistogramVec/3", func() { hv3.With("kbdd", "alice", "queue").Observe(0.002) }},
 	}
 	for _, tc := range cases {
 		if n := testing.AllocsPerRun(200, tc.fn); n != 0 {

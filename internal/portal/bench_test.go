@@ -1,6 +1,7 @@
 package portal
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -60,6 +61,91 @@ func BenchmarkPoolSubmit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPoolSubmitJournal is BenchmarkPoolSubmit with the
+// write-ahead ticket journal on (in-memory target): the durability
+// overhead of framing, checksumming, and syncing three records per
+// job — the journal-on vs journal-off comparison in EXPERIMENTS.md.
+func BenchmarkPoolSubmitJournal(b *testing.B) {
+	p := NewPool(PoolConfig{
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueDepth: 4 * runtime.GOMAXPROCS(0),
+		// Bounded history keeps periodic compaction snapshots O(users):
+		// unbounded retention would make each snapshot re-encode every
+		// result ever seen.
+		HistoryLimit: 32,
+		Journal:      NewJournal(&memSyncer{}, JournalOpts{CompactEvery: 1024}),
+	})
+	defer p.Close()
+	p.SetObserver(obs.NewObserver(nil))
+	if err := p.Register(echoTool()); err != nil {
+		b.Fatal(err)
+	}
+	users := benchUsers()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		user := fmt.Sprintf("user%d", next.Add(1)%int64(users))
+		for pb.Next() {
+			if _, err := p.Submit(user, "echo", "ping"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkRecoverPool measures warm-pool reconstruction: replay a
+// 100-ticket journal (plus a handful of mid-flight tickets that
+// re-run) into a serving pool and drain it — the restart-to-ready
+// latency recorded in EXPERIMENTS.md.
+func BenchmarkRecoverPool(b *testing.B) {
+	ms := &memSyncer{}
+	src := NewPool(PoolConfig{
+		Workers: 4, QueueDepth: 128,
+		Journal: NewJournal(ms, JournalOpts{}),
+	})
+	src.SetObserver(obs.NewObserver(nil))
+	if err := src.Register(echoTool()); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := src.Submit(fmt.Sprintf("user%d", i%8), "echo", "ping"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Leave 4 tickets mid-flight so every recovery also re-runs work.
+	release := make(chan struct{})
+	started := make(chan string, 4)
+	if err := src.Register(gateTool("gate", started, release)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := src.SubmitAsync(fmt.Sprintf("gated%d", i), "gate", "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	data := ms.Bytes() // the crash point: 4 started, none finished
+	close(release)
+	src.Close()
+
+	cfg := PoolConfig{Workers: 4, QueueDepth: 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, rep, err := RecoverPool(cfg, bytes.NewReader(data), echoTool(), echoTool2("gate"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Rerun != 4 {
+			b.Fatalf("rerun = %d, want 4", rep.Rerun)
+		}
+		p.Close()
+	}
 }
 
 // BenchmarkPoolSubmitAsync measures the pipelined ticket flow: each

@@ -95,6 +95,32 @@ func (fq *fairQueue) push(tk *Ticket) error {
 	return nil
 }
 
+// restore re-enqueues a recovered ticket, bypassing the closed,
+// capTotal, and perUserCap admission checks: a journal-restored ticket
+// was already admitted in a previous lifetime, and recovery must not
+// shed work the pool promised to run. Only RecoverPool calls this,
+// before the pool is visible to any submitter, so the queue may
+// transiently exceed QueueDepth until workers drain the backlog.
+func (fq *fairQueue) restore(tk *Ticket) {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	lane := fq.lanes[tk.user]
+	if lane == nil {
+		w := 1
+		if fq.weightOf != nil {
+			if got := fq.weightOf(tk.user); got > 1 {
+				w = got
+			}
+		}
+		lane = &userLane{user: tk.user, weight: w, credit: w}
+		fq.lanes[tk.user] = lane
+		fq.ring = append(fq.ring, lane)
+	}
+	lane.q = append(lane.q, tk)
+	fq.size++
+	fq.cond.Signal()
+}
+
 // pop blocks until a ticket is dequeued or the queue is closed AND
 // fully drained (then it returns nil and the calling worker exits).
 // After close, workers keep popping: that is the graceful drain.

@@ -82,6 +82,24 @@ type PoolConfig struct {
 	// every class weight 1): a weight-w lane may dequeue w tickets
 	// per round-robin round.
 	ClassWeight func(class string) int
+
+	// Journal, when non-nil, makes the ticket lifecycle durable: every
+	// admission and transition is framed, checksummed, and synced to
+	// the journal's writer before it becomes observable, and
+	// RecoverPool replays the log into a warm pool after a restart.
+	// Nil (the default) costs the hot path nothing.
+	Journal *Journal
+	// Observer, when non-nil, receives the pool's telemetry from
+	// construction on — early enough that RecoverPool's replay spans
+	// and counters land on it. Nil uses obs.Default(); SetObserver can
+	// still redirect later.
+	Observer *obs.Observer
+	// Clock and After inject the pool's time source and timer at
+	// construction — the same injection SetClock offers, but early
+	// enough that recovered deadlines re-arm and replayed admission
+	// timestamps resolve deterministically in tests. Nil = real time.
+	Clock func() time.Time
+	After func(time.Duration) <-chan time.Time
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -161,6 +179,7 @@ type lifecycleMetrics struct {
 	completed   *obs.Counter    // pool_tickets_total{state=completed}
 	expired     *obs.Counter    // pool_tickets_total{state=expired}
 	cancelled   *obs.Counter    // pool_tickets_total{state=cancelled}
+	replayed    *obs.Counter    // pool_tickets_total{state=replayed}: completed re-runs after recovery
 	expQueued   *obs.Counter    // pool_deadline_expiries_total{where=queued}
 	expRunning  *obs.Counter    // pool_deadline_expiries_total{where=running}
 	expDraining *obs.Counter    // pool_deadline_expiries_total{where=draining}
@@ -176,6 +195,7 @@ func resolveLifecycleMetrics(ob *obs.Observer) *lifecycleMetrics {
 		completed:   tickets.With("completed"),
 		expired:     tickets.With("expired"),
 		cancelled:   tickets.With("cancelled"),
+		replayed:    tickets.With("replayed"),
 		expQueued:   exp.With("queued"),
 		expRunning:  exp.With("running"),
 		expDraining: exp.With("draining"),
@@ -231,6 +251,17 @@ type Pool struct {
 	runMu   sync.Mutex // guards running, the set of tickets held by workers
 	running map[*Ticket]struct{}
 
+	// jmu is the recovery-consistency lock: it guards the sequence
+	// counter, the live-ticket set, the conservation ledger, and every
+	// journal append — so a compaction snapshot can never observe a
+	// ticket half-transitioned. Lock order: jmu before shard.mu,
+	// tk.mu, and quota.mu; never the reverse.
+	jmu    sync.Mutex
+	jr     *Journal // nil = journaling off
+	seq    uint64   // last assigned ticket sequence
+	live   map[uint64]*Ticket
+	ledger Ledger
+
 	lifeMu sync.RWMutex // guards closed against concurrent Close
 	closed bool
 	wg     sync.WaitGroup
@@ -239,6 +270,15 @@ type Pool struct {
 // NewPool builds the engine and starts its workers. Callers should
 // Close it when done to stop the workers.
 func NewPool(cfg PoolConfig) *Pool {
+	p := newPool(cfg)
+	p.start()
+	return p
+}
+
+// newPool builds the engine without starting workers — RecoverPool
+// needs the gap to install replayed state and re-enqueue tickets
+// before execution begins.
+func newPool(cfg PoolConfig) *Pool {
 	cfg = cfg.withDefaults()
 	perUserCap := int(cfg.FairShare * float64(cfg.QueueDepth))
 	if perUserCap < 1 {
@@ -247,18 +287,32 @@ func NewPool(cfg PoolConfig) *Pool {
 	if perUserCap > cfg.QueueDepth {
 		perUserCap = cfg.QueueDepth
 	}
+	clock := time.Now
+	if cfg.Clock != nil {
+		clock = cfg.Clock
+	}
+	after := time.After
+	if cfg.After != nil {
+		after = cfg.After
+	}
+	observer := obs.Default()
+	if cfg.Observer != nil {
+		observer = cfg.Observer
+	}
 	p := &Pool{
 		cfg:       cfg,
 		tools:     map[string]Tool{},
 		breakers:  map[string]*Breaker{},
 		toolStats: map[string]*toolMetrics{},
-		clock:     time.Now,
-		after:     time.After,
-		obs:       obs.Default(),
+		clock:     clock,
+		after:     after,
+		obs:       observer,
 		rngState:  cfg.Seed,
 		shards:    make([]poolShard, cfg.Shards),
 		quota:     newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst),
 		running:   map[*Ticket]struct{}{},
+		jr:        cfg.Journal,
+		live:      map[uint64]*Ticket{},
 	}
 	weightOf := func(user string) int {
 		if cfg.ClassWeight == nil {
@@ -272,11 +326,16 @@ func NewPool(cfg PoolConfig) *Pool {
 	}
 	p.resolveShardCounters()
 	p.lm = resolveLifecycleMetrics(p.obs)
-	p.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
+	p.jr.bind(p.obs)
+	return p
+}
+
+// start launches the worker goroutines.
+func (p *Pool) start() {
+	p.wg.Add(p.cfg.Workers)
+	for i := 0; i < p.cfg.Workers; i++ {
 		go p.worker()
 	}
-	return p
 }
 
 // classOf maps a user to their quota class label.
@@ -302,6 +361,11 @@ func (p *Pool) Close() {
 		p.fq.closeQueue()
 	}
 	p.wg.Wait()
+	if !already {
+		// A clean shutdown leaves a compact journal: one snapshot
+		// record a restart replays wholesale.
+		p.CompactJournal()
+	}
 }
 
 // CloseWithTimeout is Close with a drain budget: it waits up to d for
@@ -331,6 +395,9 @@ func (p *Pool) CloseWithTimeout(d time.Duration) bool {
 	}()
 	select {
 	case <-drained:
+		if !already {
+			p.CompactJournal()
+		}
 		return true
 	case <-after(d):
 	}
@@ -350,6 +417,9 @@ func (p *Pool) CloseWithTimeout(d time.Duration) bool {
 	}
 	p.runMu.Unlock()
 	<-drained
+	if !already {
+		p.CompactJournal()
+	}
 	return false
 }
 
@@ -371,6 +441,7 @@ func (p *Pool) SetObserver(o *obs.Observer) {
 	p.obs = o
 	p.resolveShardCounters()
 	p.lm = resolveLifecycleMetrics(o)
+	p.jr.bind(o)
 	for name, br := range p.breakers {
 		p.toolStats[name] = resolveToolMetrics(o, name)
 		p.toolStats[name].breakerState.Set(breakerStateValue(br.State()))
@@ -544,6 +615,7 @@ func (p *Pool) SubmitAsyncOpts(user, tool, input string, opts TicketOpts) (*Tick
 	now := clock()
 	if !p.quota.admit(user, now) {
 		br.Release()
+		p.journalShed(user, now)
 		ob.Counter("pool_jobs_shed_quota").Inc()
 		tm.shedQuota.Inc()
 		lm.quotaSheds.With(p.classOf(user)).Inc()
@@ -570,9 +642,12 @@ func (p *Pool) SubmitAsyncOpts(user, tool, input string, opts TicketOpts) (*Tick
 	sp.SetLabel("tool", tool)
 	sp.SetLabel("user", user)
 	tk.sp = sp
+	p.jmu.Lock()
 	if err := p.fq.push(tk); err != nil {
+		p.jmu.Unlock()
 		br.Release()
 		p.quota.refund(user)
+		p.journalShed(user, now)
 		switch {
 		case errors.Is(err, ErrPoolClosed):
 			sp.SetLabel("state", "shed_closed")
@@ -597,6 +672,19 @@ func (p *Pool) SubmitAsyncOpts(user, tool, input string, opts TicketOpts) (*Tick
 			return nil, ErrQueueFull
 		}
 	}
+	// Admission bookkeeping is atomic with the push: under jmu the
+	// ticket gets its sequence, enters the live set and the ledger,
+	// and its admit record is durable — all before any worker can
+	// finish it (finishing takes jmu too) and before SubmitAsync
+	// acknowledges the ticket to the caller.
+	p.seq++
+	tk.seq = p.seq
+	p.ledger.Admitted++
+	p.live[tk.seq] = tk
+	if p.jr != nil {
+		p.jr.appendAdmit(tk)
+	}
+	p.jmu.Unlock()
 	lm.admitted.Inc()
 	ob.Gauge("pool_queue_depth").Add(1)
 	if d > 0 {
@@ -669,25 +757,47 @@ func (p *Pool) expireTicket(tk *Ticket) {
 // recorded (the tool never got a chance to fail) and no history entry
 // is written (nothing ran). Idempotent: the first caller wins.
 func (p *Pool) finalizeNonRun(tk *Ticket, cause error, where string) {
+	// The whole transition happens under jmu so a compaction snapshot
+	// sees the ticket either live or durably terminal, never between.
+	p.jmu.Lock()
 	tk.mu.Lock()
 	if tk.state != TicketQueued {
 		tk.mu.Unlock()
+		p.jmu.Unlock()
 		return
 	}
 	tk.state = TicketDone
 	tk.err = cause
-	tk.res = JobResult{Tool: tk.tool, Input: tk.input, When: tk.queuedAt, Err: cause.Error()}
+	res := JobResult{Tool: tk.tool, Input: tk.input, When: tk.queuedAt, Err: cause.Error(), Replayed: tk.replayed}
+	tk.res = res
 	sp := tk.sp
-	close(tk.done)
 	tk.mu.Unlock()
+
+	state := "cancelled"
+	doneState := doneCancelled
+	if errors.Is(cause, ErrDeadline) {
+		state = "expired"
+		doneState = doneExpired
+	}
+	switch doneState {
+	case doneExpired:
+		p.ledger.Expired++
+	default:
+		p.ledger.Cancelled++
+	}
+	delete(p.live, tk.seq)
+	if p.jr != nil {
+		p.jr.appendDone(doneRec{seq: tk.seq, state: doneState, ran: false, res: res})
+		p.maybeCompactLocked()
+	}
+	p.jmu.Unlock()
+	close(tk.done)
 
 	tk.br.Release()
 	p.mu.RLock()
 	ob, lm := p.obs, p.lm
 	p.mu.RUnlock()
-	state := "cancelled"
-	if errors.Is(cause, ErrDeadline) {
-		state = "expired"
+	if state == "expired" {
 		lm.expired.Inc()
 		lm.expiry(where).Inc()
 		ob.Emit("pool.deadline", map[string]string{"tool": tk.tool, "user": tk.user, "where": where})
@@ -723,13 +833,22 @@ func (p *Pool) startTicket(tk *Ticket, now time.Time) bool {
 	p.runMu.Lock()
 	p.running[tk] = struct{}{}
 	p.runMu.Unlock()
+	if p.jr != nil {
+		p.jmu.Lock()
+		p.jr.appendStart(tk.seq)
+		p.jmu.Unlock()
+	}
 	return true
 }
 
-// finishTicket publishes an executed ticket's terminal state and ends
-// its span. rawErr classifies the lifecycle outcome: ErrDeadline and
-// ErrCancelled are terminal lifecycle errors; anything else (tool
-// failure, timeout) is a completed run whose details live in res.
+// finishTicket appends the executed ticket's history entry, publishes
+// its terminal state, and ends its span. rawErr classifies the
+// lifecycle outcome: ErrDeadline and ErrCancelled are terminal
+// lifecycle errors; anything else (tool failure, timeout) is a
+// completed run whose details live in res. History, ledger, live-set
+// removal, and the journal's done record commit atomically under jmu,
+// so a compaction snapshot can never double- or zero-count the
+// ticket.
 func (p *Pool) finishTicket(tk *Ticket, res JobResult, rawErr error) {
 	p.runMu.Lock()
 	delete(p.running, tk)
@@ -739,33 +858,73 @@ func (p *Pool) finishTicket(tk *Ticket, res JobResult, rawErr error) {
 	if errors.Is(rawErr, ErrDeadline) || errors.Is(rawErr, ErrCancelled) {
 		cause = rawErr
 	}
+	res.Replayed = tk.replayed
+
+	state := "completed"
+	doneState := doneCompleted
+	switch {
+	case errors.Is(cause, ErrDeadline):
+		state = "expired"
+		doneState = doneExpired
+	case errors.Is(cause, ErrCancelled):
+		state = "cancelled"
+		doneState = doneCancelled
+	default:
+		if tk.replayed {
+			doneState = doneReplayed
+		}
+	}
+
+	p.jmu.Lock()
+	sh := p.shard(tk.user)
+	sh.mu.Lock()
+	sh.history[tk.user] = appendHistory(sh.history[tk.user], res, p.cfg.HistoryLimit)
+	sh.mu.Unlock()
+	switch doneState {
+	case doneExpired:
+		p.ledger.Expired++
+	case doneCancelled:
+		p.ledger.Cancelled++
+	case doneReplayed:
+		p.ledger.Replayed++
+	default:
+		p.ledger.Completed++
+	}
+	delete(p.live, tk.seq)
+	if p.jr != nil {
+		p.jr.appendDone(doneRec{seq: tk.seq, state: doneState, ran: true, res: res})
+		p.maybeCompactLocked()
+	}
+
 	tk.mu.Lock()
 	tk.state = TicketDone
 	tk.res = res
 	tk.err = cause
 	where := tk.quitWhere
 	sp := tk.sp
-	close(tk.done)
 	tk.mu.Unlock()
+	p.jmu.Unlock()
+	close(tk.done)
 
 	p.mu.RLock()
 	ob, lm := p.obs, p.lm
 	p.mu.RUnlock()
-	state := "completed"
-	switch {
-	case errors.Is(cause, ErrDeadline):
-		state = "expired"
+	switch state {
+	case "expired":
 		lm.expired.Inc()
 		if where == "" {
 			where = "running"
 		}
 		lm.expiry(where).Inc()
 		ob.Emit("pool.deadline", map[string]string{"tool": tk.tool, "user": tk.user, "where": where})
-	case errors.Is(cause, ErrCancelled):
-		state = "cancelled"
+	case "cancelled":
 		lm.cancelled.Inc()
 	default:
-		lm.completed.Inc()
+		if doneState == doneReplayed {
+			lm.replayed.Inc()
+		} else {
+			lm.completed.Inc()
+		}
 	}
 	sp.SetLabel("state", state)
 	sp.SetLabel("attempts", strconv.Itoa(res.Attempts))
@@ -800,18 +959,9 @@ func (p *Pool) worker() {
 			continue
 		}
 		res, rawErr := p.runJob(tk, ob)
-		idx := p.shardIndex(tk.user)
-		shardJobs[idx].Inc()
-		sh := &p.shards[idx]
-		sh.mu.Lock()
-		h := append(sh.history[tk.user], res)
-		// Trim in blocks so the cap costs O(1) amortized: only once
-		// the slice doubles past the limit do we copy the tail down.
-		if lim := p.cfg.HistoryLimit; lim > 0 && len(h) >= 2*lim {
-			h = append(h[:0:0], h[len(h)-lim:]...)
-		}
-		sh.history[tk.user] = h
-		sh.mu.Unlock()
+		shardJobs[p.shardIndex(tk.user)].Inc()
+		// History is appended inside finishTicket, atomically with the
+		// ledger and journal updates under jmu.
 		p.finishTicket(tk, res, rawErr)
 		p.fq.release(tk.user)
 	}
@@ -933,3 +1083,71 @@ func (p *Pool) HistoryN(user string, n int) []JobResult {
 	defer sh.mu.Unlock()
 	return reverseHistory(sh.history[user], n)
 }
+
+// journalShed records a shed admission's quota-bucket touch, so
+// replayed bucket state matches the live table exactly (a failed
+// admission still refills the bucket and advances its timestamp).
+// No-op without a journal or with quotas disabled.
+func (p *Pool) journalShed(user string, now time.Time) {
+	if p.jr == nil || !p.quota.enabled() {
+		return
+	}
+	p.jmu.Lock()
+	p.jr.appendShed(user, now)
+	p.jmu.Unlock()
+}
+
+// snapshotLocked assembles the pool's full recoverable state.
+// Callers hold p.jmu.
+func (p *Pool) snapshotLocked() *poolSnapshot {
+	s := newPoolSnapshot()
+	s.ledger = p.ledger
+	s.nextSeq = p.seq
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for user, h := range sh.history {
+			s.hist[user] = append([]JobResult(nil), h...)
+		}
+		sh.mu.Unlock()
+	}
+	s.quota = p.quota.snapshot()
+	for seq, tk := range p.live {
+		tk.mu.Lock()
+		state := tk.state
+		tk.mu.Unlock()
+		// A ticket caught mid-finalization (terminal under tk.mu but
+		// its done record not yet committed under jmu) snapshots as
+		// running: replay re-runs it, which at-least-once permits.
+		s.live[seq] = &admitRec{
+			seq: seq, user: tk.user, tool: tk.tool, input: tk.input,
+			queuedAt: tk.queuedAt, deadline: tk.deadline,
+			running: state != TicketQueued, replayed: tk.replayed,
+		}
+	}
+	return s
+}
+
+// maybeCompactLocked appends a compaction snapshot once the journal's
+// record budget since the last one is spent. Callers hold p.jmu.
+func (p *Pool) maybeCompactLocked() {
+	if p.jr != nil && p.jr.wantsCompact() {
+		p.jr.append(recSnapshot, encodeSnapshot(p.snapshotLocked()))
+	}
+}
+
+// CompactJournal appends a snapshot record now, letting operators (and
+// Close) bound replay work regardless of JournalOpts.CompactEvery.
+// No-op without a journal.
+func (p *Pool) CompactJournal() {
+	if p.jr == nil {
+		return
+	}
+	p.jmu.Lock()
+	p.jr.append(recSnapshot, encodeSnapshot(p.snapshotLocked()))
+	p.jmu.Unlock()
+}
+
+// Journal returns the pool's attached journal (nil when journaling is
+// off) — status pages surface its Err and Stats.
+func (p *Pool) Journal() *Journal { return p.jr }

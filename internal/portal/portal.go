@@ -55,6 +55,10 @@ type JobResult struct {
 	// and leaves it 0 for backward compatibility of recorded history.
 	Attempts int
 	When     time.Time
+	// Replayed marks a ticket that was mid-flight when the pool
+	// crashed and was re-executed after RecoverPool — the at-least-
+	// once marker auditors use to tell a re-run from a first run.
+	Replayed bool
 }
 
 // GracePeriod is how long Submit waits after cancellation for a tool

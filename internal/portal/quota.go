@@ -63,6 +63,39 @@ func (q *quotaTable) admit(user string, now time.Time) bool {
 	return false
 }
 
+// snapshot copies the bucket table by value for the ticket journal's
+// snapshot records, so recovery restores exactly the token balances
+// and refill anchors the pool had at the crash.
+func (q *quotaTable) snapshot() map[string]quotaBucket {
+	if !q.enabled() {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buckets) == 0 {
+		return nil
+	}
+	out := make(map[string]quotaBucket, len(q.buckets))
+	for user, b := range q.buckets {
+		out[user] = *b
+	}
+	return out
+}
+
+// restore installs replayed bucket state wholesale. Only RecoverPool
+// calls this, on a pool not yet visible to submitters.
+func (q *quotaTable) restore(m map[string]quotaBucket) {
+	if !q.enabled() || len(m) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for user, b := range m {
+		bb := b
+		q.buckets[user] = &bb
+	}
+}
+
 // refund returns the token of an admission that failed downstream
 // (queue full, share full, pool closed): a shed job never burns the
 // user's budget.

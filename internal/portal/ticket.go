@@ -61,6 +61,15 @@ type Ticket struct {
 	sp *obs.Span
 	p  *Pool
 
+	// seq is the pool-assigned admission sequence — the identity the
+	// ticket journal keys every transition record by. replayed marks a
+	// ticket restored by RecoverPool that was mid-flight at the crash
+	// (in any earlier lifetime): it re-runs at-least-once and its
+	// history entry carries JobResult.Replayed. Both are set before
+	// the ticket is visible to workers and immutable after.
+	seq      uint64
+	replayed bool
+
 	// done closes exactly once, when the ticket turns terminal.
 	done chan struct{}
 	// quit closes (at most once, with quitErr set first) to interrupt

@@ -191,14 +191,17 @@ func AxbTool() Tool {
 						}
 					}
 				}
+				// Route through the Into forms: one solution buffer,
+				// iterative scratch comes from the solver pool.
+				x = make([]float64, n)
 				var res linsolve.Result
 				switch method {
 				case "cg":
-					x, res = linsolve.CG(sp, b, 1e-10, 10*n+1000)
+					res = linsolve.CGInto(x, sp, b, 1e-10, 10*n+1000)
 				case "gs":
-					x, res = linsolve.GaussSeidel(sp, b, 1e-10, 100000)
+					res = linsolve.GaussSeidelInto(x, sp, b, 1e-10, 100000)
 				default:
-					x, res = linsolve.Jacobi(sp, b, 1e-10, 100000)
+					res = linsolve.JacobiInto(x, sp, b, 1e-10, 100000)
 				}
 				if !res.Converged {
 					return "", fmt.Errorf("axb: %s did not converge (residual %g)", method, res.Residual)
